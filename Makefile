@@ -1,0 +1,38 @@
+# Convenience targets for the ALS reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments examples kernels clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/alsbench -experiment all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/movierecs
+	$(GO) run ./examples/crossplatform
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/implicit
+
+# Emit the OpenCL C sources for real hardware.
+kernels:
+	$(GO) run ./cmd/alsclgen -k 10 -group-size 32
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,460 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (see EXPERIMENTS.md for the mapping) and measures
+// the real host kernels. Figure benchmarks report the paper's headline
+// comparisons as custom metrics (e.g. "speedup_vs_flat") so `go test
+// -bench=.` output can be read against the paper directly.
+//
+// Simulated-device results are deterministic; wall-clock benches (Host*)
+// measure this machine.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/host"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+	"repro/internal/variant"
+)
+
+// benchSettings shrinks the default experiment scale so a full -bench=.
+// sweep stays in the minutes range; shapes are scale-stable (the
+// calibration tests in internal/experiments run at full bench scale).
+func benchSettings() experiments.Settings {
+	s := experiments.Defaults()
+	s.Scale = 0.5
+	s.Iterations = 2
+	return s
+}
+
+// BenchmarkTable1Datasets regenerates Table I: synthetic datasets at the
+// paper's shapes, with their degree statistics.
+func BenchmarkTable1Datasets(b *testing.B) {
+	s := benchSettings()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dss := experiments.Datasets(s)
+	b.ReportMetric(float64(dss[1].Matrix.NNZ()), "ntfx_nnz")
+	b.ReportMetric(sparse.WarpImbalance(dss[1].Matrix.R, 32), "warp_imbalance")
+}
+
+// BenchmarkFig1BaselineCPUvsGPU regenerates Figure 1: the flat SAC'15
+// baseline on the 16-core CPU vs the K20c. Metric: how many times slower
+// the GPU is (paper: ~8.4x).
+func BenchmarkFig1BaselineCPUvsGPU(b *testing.B) {
+	s := benchSettings()
+	ds := experiments.Datasets(s)[1] // Netflix
+	cpu, gpu := device.XeonE52670(), device.K20c()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tc, err := kernels.Train(ds.Matrix, kernels.Config{Device: cpu, Spec: kernels.Baseline(),
+			K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tg, err := kernels.Train(ds.Matrix, kernels.Config{Device: gpu, Spec: kernels.Baseline(),
+			K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = tg.Seconds() / tc.Seconds()
+	}
+	b.ReportMetric(ratio, "gpu_over_cpu_x")
+}
+
+// BenchmarkFig3RegisterKernel measures the Fig. 3 restructuring on the real
+// host: the baseline k×k-scratch Gram kernel vs the k-strip register form
+// vs the unrolled/vectorized form.
+func BenchmarkFig3RegisterKernel(b *testing.B) {
+	const k, n, omega = 10, 4096, 200
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float32, n*k)
+	for i := range y {
+		y[i] = rng.Float32()
+	}
+	cols := make([]int32, omega)
+	for i := range cols {
+		cols[i] = int32(rng.Intn(n))
+	}
+	smat := make([]float32, k*k)
+	b.Run("scatter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GramScatter(y, k, cols, smat)
+		}
+	})
+	b.Run("register", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GramRegister(y, k, cols, smat)
+		}
+	})
+	b.Run("unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GramUnrolled(y, k, cols, smat)
+		}
+	})
+}
+
+// BenchmarkFig6Variants regenerates Figure 6: the optimization ladder per
+// device on the Netflix-shaped dataset.
+func BenchmarkFig6Variants(b *testing.B) {
+	s := benchSettings()
+	ds := experiments.Datasets(s)[1]
+	for _, dev := range device.All() {
+		for _, v := range variant.Ladder() {
+			dev, v := dev, v
+			b.Run(dev.Kind.String()+"/"+v.ID(), func(b *testing.B) {
+				var secs float64
+				for i := 0; i < b.N; i++ {
+					res, err := kernels.Train(ds.Matrix, kernels.Config{
+						Device: dev, Spec: kernels.FromVariant(v),
+						K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					secs = res.Seconds()
+				}
+				b.ReportMetric(secs, "sim_seconds")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Speedups regenerates Figure 7's three headline comparisons
+// on the Netflix-shaped dataset (paper: 5.5x, 21.2x, 2.2-6.8x).
+func BenchmarkFig7Speedups(b *testing.B) {
+	s := benchSettings()
+	ds := experiments.Datasets(s)[1]
+	cpu, gpu := device.XeonE52670(), device.K20c()
+	var vsCPU, vsGPU, vsCuMF float64
+	for i := 0; i < b.N; i++ {
+		run := func(dev *device.Device, spec kernels.Spec) float64 {
+			res, err := kernels.Train(ds.Matrix, kernels.Config{Device: dev, Spec: spec,
+				K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Seconds()
+		}
+		oursCPU := run(cpu, kernels.FromVariant(experiments.BestVariant(device.CPU)))
+		oursGPU := run(gpu, kernels.FromVariant(experiments.BestVariant(device.GPU)))
+		flatCPU := run(cpu, kernels.Baseline())
+		flatGPU := run(gpu, kernels.Baseline())
+		cm, err := baseline.TrainCuMF(ds.Matrix, baseline.CuMFConfig{Device: gpu,
+			K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsCPU, vsGPU, vsCuMF = flatCPU/oursCPU, flatGPU/oursGPU, cm.Seconds()/oursGPU
+	}
+	b.ReportMetric(vsCPU, "speedup_vs_sac15_cpu_x")
+	b.ReportMetric(vsGPU, "speedup_vs_sac15_gpu_x")
+	b.ReportMetric(vsCuMF, "speedup_vs_cumf_x")
+}
+
+// BenchmarkFig8StageBreakdown regenerates Figure 8: the S1/S2/S3 shares on
+// Netflix/K20c at the final tuning stage.
+func BenchmarkFig8StageBreakdown(b *testing.B) {
+	s := benchSettings()
+	ds := experiments.Datasets(s)[1]
+	var share [3]float64
+	for i := 0; i < b.N; i++ {
+		res, err := kernels.Train(ds.Matrix, kernels.Config{
+			Device: device.K20c(),
+			Spec:   kernels.Spec{S1Local: true, S1Register: true, S2Local: true},
+			K:      s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = res.Report.StageShare()
+	}
+	b.ReportMetric(share[0]*100, "s1_pct")
+	b.ReportMetric(share[1]*100, "s2_pct")
+	b.ReportMetric(share[2]*100, "s3_pct")
+}
+
+// BenchmarkFig9CrossPlatform regenerates Figure 9: best-variant times on
+// the three devices; metrics are the slowdowns vs the CPU (paper: GPU 1.5x,
+// MIC 4.1x).
+func BenchmarkFig9CrossPlatform(b *testing.B) {
+	s := benchSettings()
+	ds := experiments.Datasets(s)[0] // Movielens
+	var gpuX, micX float64
+	for i := 0; i < b.N; i++ {
+		times := map[device.Kind]float64{}
+		for _, dev := range device.All() {
+			res, err := kernels.Train(ds.Matrix, kernels.Config{
+				Device: dev, Spec: kernels.FromVariant(experiments.BestVariant(dev.Kind)),
+				K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[dev.Kind] = res.Seconds()
+		}
+		gpuX = times[device.GPU] / times[device.CPU]
+		micX = times[device.MIC] / times[device.CPU]
+	}
+	b.ReportMetric(gpuX, "gpu_over_cpu_x")
+	b.ReportMetric(micX, "mic_over_cpu_x")
+}
+
+// BenchmarkFig10BlockSize regenerates Figure 10: the work-group size sweep
+// on the GPU (paper: best at 16/32 for k=10).
+func BenchmarkFig10BlockSize(b *testing.B) {
+	s := benchSettings()
+	ds := experiments.Datasets(s)[1]
+	for _, ws := range []int{8, 16, 32, 64, 128} {
+		ws := ws
+		b.Run("ws"+itoa(ws), func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				res, err := kernels.Train(ds.Matrix, kernels.Config{
+					Device: device.K20c(), Spec: kernels.FromVariant(experiments.BestVariant(device.GPU)),
+					K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed, GroupSize: ws})
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = res.Seconds()
+			}
+			b.ReportMetric(secs, "sim_seconds")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Real host wall-clock benchmarks ---
+
+func hostBenchMatrix(b *testing.B) *sparse.Matrix {
+	b.Helper()
+	return dataset.Netflix.ScaledForBench(0.001).Generate(1).Matrix
+}
+
+// BenchmarkHostFlatVsBatched measures the real scheduling difference on
+// this machine: static contiguous blocks (flat) vs dynamic chunked sharing
+// (thread batching).
+func BenchmarkHostFlatVsBatched(b *testing.B) {
+	mx := hostBenchMatrix(b)
+	run := func(b *testing.B, flat bool) {
+		for i := 0; i < b.N; i++ {
+			if _, err := host.Train(mx, host.Config{K: 10, Lambda: 0.1, Iterations: 1, Seed: 1,
+				Flat: flat, Variant: variant.Options{Register: true}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("flat", func(b *testing.B) { run(b, true) })
+	b.Run("batched", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkHostVariants measures the 8 code variants as real Go kernels.
+func BenchmarkHostVariants(b *testing.B) {
+	mx := hostBenchMatrix(b)
+	for _, v := range variant.All() {
+		v := v
+		b.Run(v.ID(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := host.Train(mx, host.Config{K: 10, Lambda: 0.1, Iterations: 1, Seed: 1, Variant: v}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCholesky measures the S3 solver at the paper's k=10 and at the
+// larger k values cuMF targets.
+func BenchmarkCholesky(b *testing.B) {
+	for _, k := range []int{10, 32, 100} {
+		k := k
+		b.Run("k"+itoa(k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			y := make([]float32, 4*k*k)
+			for i := range y {
+				y[i] = rng.Float32()
+			}
+			cols := make([]int32, 4*k)
+			for i := range cols {
+				cols[i] = int32(i)
+			}
+			a := linalg.NewDense(k, k)
+			rhs := make([]float32, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				linalg.GramRegister(y, k, cols, a.Data)
+				a.AddDiag(0.1)
+				for j := range rhs {
+					rhs[j] = 1
+				}
+				if err := linalg.CholeskySolve(a, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSRTranspose measures the CSR↔CSC conversion the solver does
+// once per training run.
+func BenchmarkCSRTranspose(b *testing.B) {
+	mx := hostBenchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mx.R.ToCSC() == nil {
+			b.Fatal("nil transpose")
+		}
+	}
+}
+
+// BenchmarkGatherGaxpy measures the S2 kernel forms.
+func BenchmarkGatherGaxpy(b *testing.B) {
+	const k, n, omega = 10, 4096, 200
+	rng := rand.New(rand.NewSource(3))
+	y := make([]float32, n*k)
+	for i := range y {
+		y[i] = rng.Float32()
+	}
+	cols := make([]int32, omega)
+	vals := make([]float32, omega)
+	for i := range cols {
+		cols[i] = int32(rng.Intn(n))
+		vals[i] = 3
+	}
+	svec := make([]float32, k)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GatherGaxpy(y, k, cols, vals, svec)
+		}
+	})
+	b.Run("unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GatherGaxpyUnrolled(y, k, cols, vals, svec)
+		}
+	})
+}
+
+// BenchmarkDatasetGenerate measures the synthetic generator (alias-method
+// sampling) at bench scale.
+func BenchmarkDatasetGenerate(b *testing.B) {
+	p := dataset.YahooR4.ScaledForBench(0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Generate(int64(i)).Matrix.NNZ() == 0 {
+			b.Fatal("empty generation")
+		}
+	}
+}
+
+// BenchmarkHostScaling measures real parallel scalability of the batched
+// host solver across worker counts on this machine.
+func BenchmarkHostScaling(b *testing.B) {
+	mx := hostBenchMatrix(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("workers"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := host.Train(mx, host.Config{K: 10, Lambda: 0.1, Iterations: 1, Seed: 1,
+					Workers: workers, Variant: variant.Options{Register: true, Local: true}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchedCholesky measures the batched small-system solver
+// (reference [21]'s batched factorization idea) against per-system calls.
+func BenchmarkBatchedCholesky(b *testing.B) {
+	const k, batch = 10, 2048
+	rng := rand.New(rand.NewSource(9))
+	proto := linalg.NewDense(k, k)
+	y := make([]float32, 4*k*k)
+	for i := range y {
+		y[i] = rng.Float32()
+	}
+	cols := make([]int32, 4*k)
+	for i := range cols {
+		cols[i] = int32(i)
+	}
+	linalg.GramRegister(y, k, cols, proto.Data)
+	proto.AddDiag(0.5)
+	fill := func(bs *linalg.BatchedSystems) {
+		for i := 0; i < bs.Batch; i++ {
+			a, rhs := bs.System(i)
+			copy(a.Data, proto.Data)
+			for j := range rhs {
+				rhs[j] = rng.Float32()
+			}
+		}
+	}
+	b.Run("batched", func(b *testing.B) {
+		bs := linalg.NewBatchedSystems(k, batch)
+		for i := 0; i < b.N; i++ {
+			fill(bs)
+			if err := bs.SolveAll(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		bs := linalg.NewBatchedSystems(k, batch)
+		for i := 0; i < b.N; i++ {
+			fill(bs)
+			if err := bs.SolveAll(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTopN measures the bounded-heap top-N selection over a large
+// catalog (serving-path cost).
+func BenchmarkTopN(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const items = 100000
+	y := linalg.NewDense(items, 10)
+	for i := range y.Data {
+		y.Data[i] = rng.Float32()
+	}
+	x := linalg.NewDense(1, 10)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	coo := sparse.NewCOO(1, items)
+	for i := 0; i < 200; i++ {
+		coo.Append(0, rng.Intn(items), 5)
+	}
+	coo.Dedup(sparse.DedupKeepLast)
+	coo.Rows, coo.Cols = 1, items
+	m, err := coo.ToCSR()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(metrics.TopN(m, x, y, 0, 10)) != 10 {
+			b.Fatal("wrong top-N size")
+		}
+	}
+}

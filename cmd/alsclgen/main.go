@@ -1,0 +1,56 @@
+// alsclgen emits the OpenCL C sources of the paper's kernels (the flat
+// baseline and the eight thread-batched code variants), specialized for a
+// latent factor and work-group size — for use on real OpenCL hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/clgen"
+	"repro/internal/variant"
+)
+
+func main() {
+	k := flag.Int("k", 10, "latent factor the kernels are specialized for")
+	ws := flag.Int("group-size", 32, "work-group size the kernels are tuned for")
+	variantID := flag.String("variant", "", "emit one variant (e.g. tb+loc+reg), 'baseline', or empty for the full program")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alsclgen:", err)
+		os.Exit(1)
+	}
+
+	var src string
+	var err error
+	switch *variantID {
+	case "":
+		src, err = clgen.All(*k, *ws)
+	case "baseline":
+		src, err = clgen.Baseline(clgen.Params{K: *k, GroupSize: *ws})
+	default:
+		v, perr := variant.ParseID(*variantID)
+		if perr != nil {
+			fail(perr)
+		}
+		src, err = clgen.Batched(clgen.Params{K: *k, GroupSize: *ws, Variant: v})
+	}
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			fail(cerr)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.WriteString(src); err != nil {
+		fail(err)
+	}
+}

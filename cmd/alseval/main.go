@@ -1,0 +1,60 @@
+// alseval evaluates a model trained by alstrain against a rating file:
+// RMSE/MAE on the given ratings and, with -train, ranking quality
+// (precision/recall@N) of the model's top-N lists against them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "model file written by alstrain -out")
+	testPath := flag.String("test", "", "rating file to evaluate against")
+	trainPath := flag.String("train", "", "training rating file (enables precision/recall@N; its items are excluded from top-N)")
+	oneBased := flag.Bool("one-based", true, "IDs in the rating files start at 1")
+	n := flag.Int("n", 10, "top-N size for ranking metrics")
+	relThresh := flag.Float64("relevant", 4.0, "minimum test rating counted as relevant")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alseval:", err)
+		os.Exit(1)
+	}
+	if *modelPath == "" || *testPath == "" {
+		fail(fmt.Errorf("need -model and -test"))
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+	model, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	test, err := core.AlignRatings(model, *testPath, *oneBased)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("model: k=%d users=%d items=%d\n", model.K, model.X.Rows, model.Y.Rows)
+	fmt.Printf("test ratings: %d\n", test.NNZ())
+	fmt.Printf("RMSE: %.4f\n", model.RMSE(test.R))
+	fmt.Printf("MAE:  %.4f\n", model.MAE(test.R))
+
+	if *trainPath != "" {
+		train, err := core.AlignRatings(model, *trainPath, *oneBased)
+		if err != nil {
+			fail(err)
+		}
+		p, r := metrics.PrecisionRecallAtN(train.R, test.R, model.X, model.Y, *n, float32(*relThresh))
+		fmt.Printf("precision@%d: %.4f\n", *n, p)
+		fmt.Printf("recall@%d:    %.4f\n", *n, r)
+	}
+}

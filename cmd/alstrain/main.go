@@ -1,0 +1,133 @@
+// alstrain trains an ALS factorization on a rating file (the paper's
+// `<userID, itemID, rating>` format) or on a synthetic Table I preset, on
+// the host or on one of the simulated devices, and optionally saves the
+// model for alsrecommend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/variant"
+)
+
+func main() {
+	input := flag.String("input", "", "rating file in <user item rating> format")
+	oneBased := flag.Bool("one-based", true, "IDs in the rating file start at 1")
+	compact := flag.Bool("compact", false, "remap sparse external IDs to dense indices (recommended for real datasets); the ID tables are stored in the model")
+	preset := flag.String("preset", "", "synthetic preset instead of a file: MVLE, NTFX, YMR1, YMR4")
+	scale := flag.Float64("scale", 0.01, "bench scale for the synthetic preset")
+	k := flag.Int("k", 10, "latent factor dimensionality")
+	lambda := flag.Float64("lambda", 0.1, "regularization coefficient")
+	iters := flag.Int("iters", 5, "ALS iterations")
+	seed := flag.Int64("seed", 2017, "random seed")
+	platform := flag.String("platform", "host", "host, CPU, GPU or MIC (non-host runs on the simulated device)")
+	variantID := flag.String("variant", "", "code variant (e.g. tb+loc+reg); empty = per-architecture recommendation")
+	auto := flag.Bool("auto-variant", false, "empirically select the fastest of the 8 variants first")
+	testFrac := flag.Float64("test-frac", 0.1, "held-out fraction for RMSE reporting (0 disables)")
+	out := flag.String("out", "", "write the trained model to this file")
+	weighted := flag.Bool("weighted-lambda", false, "use the ALS-WR convention lambda*|Omega|*I")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alstrain:", err)
+		os.Exit(1)
+	}
+
+	var ds *dataset.Dataset
+	var userIDs, itemIDs []int64
+	switch {
+	case *input != "":
+		if *compact {
+			cd, err := dataset.LoadCompact(*input, *oneBased)
+			if err != nil {
+				fail(err)
+			}
+			ds = cd.Dataset
+			userIDs = make([]int64, cd.Users.Len())
+			for i := range userIDs {
+				userIDs[i] = cd.Users.Orig(i)
+			}
+			itemIDs = make([]int64, cd.Items.Len())
+			for i := range itemIDs {
+				itemIDs[i] = cd.Items.Orig(i)
+			}
+		} else {
+			var err error
+			ds, err = dataset.Load(*input, *oneBased)
+			if err != nil {
+				fail(err)
+			}
+		}
+	case *preset != "":
+		p, err := dataset.PresetByName(*preset)
+		if err != nil {
+			fail(err)
+		}
+		ds = p.ScaledForBench(*scale).Generate(*seed)
+	default:
+		fail(fmt.Errorf("need -input or -preset"))
+	}
+	mx := ds.Matrix
+	fmt.Printf("dataset: %s  m=%d n=%d nnz=%d\n", ds.Name, mx.Rows(), mx.Cols(), mx.NNZ())
+
+	train := mx
+	test := mx
+	if *testFrac > 0 {
+		tr, te, err := dataset.Split(mx, *testFrac, *seed+1)
+		if err != nil {
+			fail(err)
+		}
+		train, test = tr, te
+	}
+
+	cfg := core.Config{
+		K: *k, Lambda: float32(*lambda), Iterations: *iters, Seed: *seed,
+		Platform: *platform, AutoVariant: *auto, UseRecommended: *variantID == "",
+		WeightedLambda: *weighted,
+	}
+	if *variantID != "" {
+		v, err := variant.ParseID(*variantID)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Variant = v
+	}
+
+	model, info, err := core.Train(train, cfg)
+	if err != nil {
+		fail(err)
+	}
+	model.UserIDs, model.ItemIDs = userIDs, itemIDs
+	kindLabel := "wall-clock"
+	if info.Simulated {
+		kindLabel = "simulated"
+	}
+	fmt.Printf("trained on %s with %s: %.4fs (%s)\n", info.Platform, info.Variant, info.Seconds, kindLabel)
+	if info.Simulated {
+		fmt.Printf("stage breakdown: S1=%.4fs S2=%.4fs S3=%.4fs\n",
+			info.StageSeconds[0], info.StageSeconds[1], info.StageSeconds[2])
+	}
+	fmt.Printf("train RMSE: %.4f\n", model.RMSE(train.R))
+	if *testFrac > 0 {
+		fmt.Printf("test  RMSE: %.4f (%.0f%% held out)\n", model.RMSE(test.R), *testFrac*100)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model written to %s\n", *out)
+	}
+}

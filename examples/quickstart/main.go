@@ -1,0 +1,58 @@
+// Quickstart: train an ALS model on a synthetic Movielens-shaped dataset,
+// inspect convergence, and predict a few ratings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// A Movielens10M-shaped synthetic dataset at 1/200 bench scale
+	// (~40k ratings). dataset.Load reads real rating files instead.
+	ds := dataset.Movielens.ScaledForBench(0.005).Generate(42)
+	mx := ds.Matrix
+	fmt.Printf("dataset %s: %d users x %d items, %d ratings\n",
+		ds.Name, mx.Rows(), mx.Cols(), mx.NNZ())
+
+	// Hold out 10% of the ratings to check generalization.
+	train, test, err := dataset.Split(mx, 0.1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train with the paper's defaults: k=10, lambda=0.1, 5 iterations,
+	// thread batching with the recommended host optimizations.
+	model, info, err := core.Train(train, core.Config{
+		K: 10, Lambda: 0.1, Iterations: 10, Seed: 1,
+		UseRecommended: true, WeightedLambda: true, TrackLoss: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %.3fs on %s (%s)\n", info.Seconds, info.Platform, info.Variant)
+	for _, h := range info.History {
+		if h.Half == "Y" {
+			fmt.Printf("  iteration %2d: regularized loss %.1f\n", h.Iteration, h.Loss)
+		}
+	}
+	fmt.Printf("train RMSE %.4f | held-out RMSE %.4f\n", model.RMSE(train.R), model.RMSE(test.R))
+
+	// Predict the first few held-out ratings.
+	fmt.Println("sample held-out predictions:")
+	shown := 0
+	for u := 0; u < test.Rows() && shown < 5; u++ {
+		cols, vals := test.R.Row(u)
+		for j, c := range cols {
+			fmt.Printf("  user %-5d item %-5d actual %.1f predicted %.2f\n",
+				u, c, vals[j], model.Predict(u, int(c)))
+			shown++
+			if shown == 5 {
+				break
+			}
+		}
+	}
+}

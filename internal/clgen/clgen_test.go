@@ -1,0 +1,226 @@
+package clgen
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/variant"
+)
+
+// balanced checks brace/paren balance — the cheap syntax sanity test
+// available without an OpenCL compiler.
+func balanced(t *testing.T, src string) {
+	t.Helper()
+	var brace, paren int
+	for _, r := range src {
+		switch r {
+		case '{':
+			brace++
+		case '}':
+			brace--
+		case '(':
+			paren++
+		case ')':
+			paren--
+		}
+		if brace < 0 || paren < 0 {
+			t.Fatalf("unbalanced delimiters (early close) in generated source")
+		}
+	}
+	if brace != 0 || paren != 0 {
+		t.Fatalf("unbalanced delimiters: braces %+d, parens %+d", brace, paren)
+	}
+}
+
+func TestBaselineSource(t *testing.T) {
+	src, err := Baseline(Params{K: 10, GroupSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced(t, src)
+	for _, want := range []string{
+		"__kernel void als_update_baseline",
+		"#define K 10",
+		"float smat[K * K]", // the paper's oversized private scratch
+		"float sum[K * K]",
+		"cholesky_solve(smat, svec)",
+		"get_global_id(0)", // one work-item per row
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("baseline source missing %q", want)
+		}
+	}
+	if strings.Contains(src, "__local") {
+		t.Error("baseline must not use local memory")
+	}
+	if strings.Contains(src, "barrier(") {
+		t.Error("baseline must not need barriers")
+	}
+}
+
+func TestBatchedStructurePerVariant(t *testing.T) {
+	for _, v := range variant.All() {
+		src, err := Batched(Params{K: 10, GroupSize: 32, Variant: v})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		balanced(t, src)
+		// Every batched kernel is one work-group per row, grid-stride.
+		for _, want := range []string{
+			"get_group_id(0)", "get_num_groups(0)", "get_local_id(0)",
+			"cholesky_solve_local",
+		} {
+			if !strings.Contains(src, want) {
+				t.Errorf("%s: missing %q", v, want)
+			}
+		}
+		// Register toggle: unrolled per-column accumulators (Fig. 3b)
+		// replace the K*K zero pass.
+		hasSums := strings.Contains(src, "float sum0 = 0.0f;") && strings.Contains(src, "float sum9 = 0.0f;")
+		if v.Register != hasSums {
+			t.Errorf("%s: register accumulators present=%v, want %v", v, hasSums, v.Register)
+		}
+		// Local toggle: staging buffers + fused staged S2.
+		hasStage := strings.Contains(src, "__local float yStage") && strings.Contains(src, "rStage[z] * yStage")
+		if v.Local != hasStage {
+			t.Errorf("%s: local staging present=%v, want %v", v, hasStage, v.Local)
+		}
+		// Vector toggle: float4 gather in the global-S2 path only.
+		hasVec := strings.Contains(src, "vload4")
+		wantVec := v.Vector && !v.Local
+		if hasVec != wantVec {
+			t.Errorf("%s: float4 gather present=%v, want %v", v, hasVec, wantVec)
+		}
+	}
+}
+
+func TestKernelNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range variant.All() {
+		n := kernelName(v)
+		if seen[n] {
+			t.Fatalf("duplicate kernel name %s", n)
+		}
+		seen[n] = true
+		if strings.ContainsAny(n, "+- ") {
+			t.Fatalf("kernel name %q not a C identifier", n)
+		}
+	}
+}
+
+func TestAllEmitsEveryKernel(t *testing.T) {
+	src, err := All(10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced(t, src)
+	if !strings.Contains(src, "als_update_baseline") {
+		t.Error("All missing the baseline kernel")
+	}
+	for _, v := range variant.All() {
+		if !strings.Contains(src, "__kernel void "+kernelName(v)+"(") {
+			t.Errorf("All missing kernel for %s", v)
+		}
+	}
+}
+
+func TestKSpecialization(t *testing.T) {
+	// The unrolled register form must track k exactly.
+	src, err := Batched(Params{K: 3, GroupSize: 16, Variant: variant.Options{Register: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced(t, src)
+	if !strings.Contains(src, "float sum2 = 0.0f;") {
+		t.Error("k=3: missing sum2")
+	}
+	if strings.Contains(src, "float sum3") {
+		t.Error("k=3: emitted sum3")
+	}
+	if !strings.Contains(src, "#define K 3") {
+		t.Error("k=3: wrong K define")
+	}
+}
+
+func TestStageRowsBudget(t *testing.T) {
+	// The staging tile must respect the 32 KiB local-memory budget.
+	for _, k := range []int{10, 100, 1000} {
+		rows := stageRows(Params{K: k, GroupSize: 32})
+		if rows < 1 {
+			t.Fatalf("k=%d: no staging rows", k)
+		}
+		if bytes := rows * 4 * (k + 1); bytes > 32*1024 {
+			t.Fatalf("k=%d: staging tile %d bytes exceeds 32 KiB", k, bytes)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Baseline(Params{K: 0, GroupSize: 32}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Batched(Params{K: 10, GroupSize: 0}); err == nil {
+		t.Error("accepted group size 0")
+	}
+	if _, err := All(0, 0); err == nil {
+		t.Error("All accepted bad params")
+	}
+}
+
+// TestDeterministic: generation is a pure function of Params.
+func TestDeterministic(t *testing.T) {
+	p := Params{K: 10, GroupSize: 32, Variant: variant.Options{Local: true, Register: true}}
+	a, err := Batched(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Batched(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+// TestAllSingleDefinitions: the full program must define each device
+// function and macro block exactly once (a real OpenCL compiler rejects
+// redefinitions).
+func TestAllSingleDefinitions(t *testing.T) {
+	src, err := All(10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range []string{
+		"static void cholesky_solve(",
+		"static void cholesky_solve_local(",
+		"#define K 10",
+		"#define STAGE_ROWS",
+	} {
+		if got := strings.Count(src, def); got != 1 {
+			t.Errorf("%q defined %d times in the full program, want 1", def, got)
+		}
+	}
+}
+
+// TestGoldenProgram pins the full generated program against the checked-in
+// golden file; regenerate with
+//
+//	go run ./cmd/alsclgen -k 10 -group-size 32 -out internal/clgen/testdata/als_k10_ws32.cl
+//
+// when an intentional generator change alters the output.
+func TestGoldenProgram(t *testing.T) {
+	want, err := os.ReadFile("testdata/als_k10_ws32.cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := All(10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatal("generated program differs from testdata/als_k10_ws32.cl; " +
+			"regenerate the golden file if the change is intentional")
+	}
+}

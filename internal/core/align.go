@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// AlignRatings loads a rating file into the model's index space so it can
+// be evaluated or used to exclude rated items.
+//
+//   - For a compact model (trained with ID remapping), the file's external
+//     IDs are translated through the model's stored ID tables; every user
+//     and item in the file must exist in the model.
+//   - For a plain model, IDs are used directly and the matrix is padded to
+//     the model's dimensions; the file must not exceed them.
+func AlignRatings(m *Model, path string, oneBased bool) (*sparse.Matrix, error) {
+	if m.UserIDs != nil {
+		cd, err := dataset.LoadCompact(path, oneBased)
+		if err != nil {
+			return nil, err
+		}
+		return alignCompact(m, cd)
+	}
+	ds, err := dataset.Load(path, oneBased)
+	if err != nil {
+		return nil, err
+	}
+	if ds.Matrix.Rows() > m.X.Rows || ds.Matrix.Cols() > m.Y.Rows {
+		return nil, fmt.Errorf("core: rating file (%dx%d) larger than model (%dx%d); was the model trained with -compact?",
+			ds.Matrix.Rows(), ds.Matrix.Cols(), m.X.Rows, m.Y.Rows)
+	}
+	coo := ds.Matrix.R.ToCOO()
+	coo.Rows, coo.Cols = m.X.Rows, m.Y.Rows
+	return sparse.NewMatrix(coo)
+}
+
+// alignCompact remaps an already-compacted dataset into the model's dense
+// index order (which followed the training file's sorted external IDs).
+func alignCompact(m *Model, cd *dataset.CompactDataset) (*sparse.Matrix, error) {
+	userTo := make(map[int64]int, len(m.UserIDs))
+	for i, id := range m.UserIDs {
+		userTo[id] = i
+	}
+	itemTo := make(map[int64]int, len(m.ItemIDs))
+	for i, id := range m.ItemIDs {
+		itemTo[id] = i
+	}
+	out := sparse.NewCOO(m.X.Rows, m.Y.Rows)
+	for u := 0; u < cd.Matrix.Rows(); u++ {
+		cols, vals := cd.Matrix.R.Row(u)
+		if len(cols) == 0 {
+			continue
+		}
+		mu, ok := userTo[cd.Users.Orig(u)]
+		if !ok {
+			return nil, fmt.Errorf("core: user %d not in the model", cd.Users.Orig(u))
+		}
+		for j, c := range cols {
+			mi, ok := itemTo[cd.Items.Orig(int(c))]
+			if !ok {
+				return nil, fmt.Errorf("core: item %d not in the model", cd.Items.Orig(int(c)))
+			}
+			out.Append(mu, mi, vals[j])
+		}
+	}
+	out.Rows, out.Cols = m.X.Rows, m.Y.Rows
+	return sparse.NewMatrix(out)
+}
+
+// UserIndex resolves an external user ID to the model's dense row: through
+// the ID table for compact models, identity (with bounds check) otherwise.
+func (m *Model) UserIndex(orig int64) (int, bool) {
+	if m.UserIDs == nil {
+		if orig < 0 || orig >= int64(m.X.Rows) {
+			return 0, false
+		}
+		return int(orig), true
+	}
+	for i, id := range m.UserIDs {
+		if id == orig {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ItemLabel returns the external ID for a dense item index (identity for
+// plain models).
+func (m *Model) ItemLabel(dense int) int64 {
+	if m.ItemIDs == nil {
+		return int64(dense)
+	}
+	return m.ItemIDs[dense]
+}

@@ -1,0 +1,422 @@
+// Package core is the library facade of the reproduction: the efficient
+// and portable ALS solver of the paper as one public API.
+//
+// A Solver factorizes a rating matrix R ≈ X·Yᵀ with alternating least
+// squares (Algorithm 1) on any supported platform: the real host machine
+// (goroutine-parallel, wall-clock timed) or one of the three simulated
+// OpenCL devices (Tesla K20c GPU, Xeon Phi 31SP MIC, Xeon E5-2670 CPU —
+// cycle-modeled, see internal/device). The paper's code variants — thread
+// batching plus the register / local-memory / vector optimizations — are
+// selectable per run, can be chosen empirically (Sec. III-D), or predicted
+// by the learned selector the paper proposes as future work.
+//
+// Typical use:
+//
+//	mx, _ := dataset.Load("ratings.txt", true)
+//	model, info, _ := core.Train(mx.Matrix, core.Config{K: 10, Lambda: 0.1})
+//	score := model.Predict(userID, itemID)
+//	top := model.Recommend(mx.Matrix.R, userID, 10)
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+	"repro/internal/variant"
+)
+
+// PlatformHost selects the real machine; the device names ("GPU", "MIC",
+// "CPU") select the corresponding simulated platform.
+const PlatformHost = "host"
+
+// Config configures a training run. The zero value trains on the host with
+// the paper's defaults (k=10, λ=0.1, 5 iterations, thread batching with
+// the per-architecture recommended optimizations).
+type Config struct {
+	K          int     // latent factor dimensionality (default 10)
+	Lambda     float32 // regularization coefficient (default 0.1)
+	Iterations int     // ALS iterations (default 5)
+	Seed       int64   // initial-guess seed
+
+	// Platform is PlatformHost (default) or a simulated device kind:
+	// "GPU", "MIC", "CPU".
+	Platform string
+
+	// Variant selects the code variant. When AutoVariant is set it is
+	// ignored and the empirical selector picks the fastest variant with a
+	// one-iteration probe of all eight (Sec. III-D).
+	Variant     variant.Options
+	AutoVariant bool
+	// UseRecommended applies the paper's per-architecture recommendation
+	// (GPU: +local+registers, CPU/MIC: +local) when Variant is zero and
+	// AutoVariant is off. Host runs use +local+registers+vector.
+	UseRecommended bool
+
+	// Baseline runs the SAC'15 flat kernel instead (for comparisons).
+	Baseline bool
+
+	// GroupSize and Groups control the simulated launch grid (default
+	// 8192×32, the paper's configuration). Ignored on the host.
+	GroupSize int
+	Groups    int
+
+	// WeightedLambda switches to the ALS-WR convention λ|Ω|I.
+	WeightedLambda bool
+	// TrackLoss records Eq. 2 after every half-iteration (host only).
+	TrackLoss bool
+	// Tolerance enables loss-based early stopping on the host (Algorithm
+	// 1's "until it converges"); 0 disables.
+	Tolerance float64
+	// Workers bounds host parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c *Config) setDefaults() {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.Platform == "" {
+		c.Platform = PlatformHost
+	}
+}
+
+// RunInfo reports how a training run went.
+type RunInfo struct {
+	Platform string
+	Variant  string
+	// Seconds is wall-clock on the host, simulated device time otherwise.
+	Seconds float64
+	// Simulated is true when Seconds is modeled rather than measured.
+	Simulated bool
+	// StageSeconds breaks simulated runs into the paper's S1/S2/S3.
+	StageSeconds [3]float64
+	// History carries per-half-iteration loss when TrackLoss was set.
+	History []host.IterStats
+}
+
+// Model is a trained factorization. When it was trained on a compact
+// (ID-remapped) dataset, UserIDs/ItemIDs carry the external IDs per dense
+// row so predictions can be reported in the original ID space; they are nil
+// for models trained on already-dense matrices.
+type Model struct {
+	K    int
+	X, Y *linalg.Dense // user (m×k) and item (n×k) factors
+
+	UserIDs []int64 // optional: external user ID per row of X
+	ItemIDs []int64 // optional: external item ID per row of Y
+}
+
+// Predict estimates the rating of item i by user u (Eq. 1: x_u·y_iᵀ).
+func (m *Model) Predict(u, i int) float64 {
+	return linalg.Dot(m.X.Row(u), m.Y.Row(i))
+}
+
+// Recommend returns the top-n unrated items for user u, scored by the
+// factorization; rated holds the training matrix used to exclude already-
+// rated items.
+func (m *Model) Recommend(rated *sparse.CSR, u, n int) []int {
+	return metrics.TopN(rated, m.X, m.Y, u, n)
+}
+
+// RMSE evaluates the model on the stored ratings of r.
+func (m *Model) RMSE(r *sparse.CSR) float64 { return metrics.RMSE(r, m.X, m.Y) }
+
+// MAE evaluates mean absolute error on the stored ratings of r.
+func (m *Model) MAE(r *sparse.CSR) float64 { return metrics.MAE(r, m.X, m.Y) }
+
+// FoldInUser computes the factor vector for a user not present at training
+// time from their ratings (item indices into Y plus values), without
+// retraining: it solves the same per-row normal equations the ALS X update
+// does (Eq. 4) against the frozen item factors. The returned vector can be
+// dotted with Y rows for predictions. lambda should match training.
+func (m *Model) FoldInUser(items []int32, ratings []float32, lambda float32) ([]float32, error) {
+	if len(items) != len(ratings) {
+		return nil, fmt.Errorf("core: %d items but %d ratings", len(items), len(ratings))
+	}
+	if len(items) == 0 {
+		return make([]float32, m.K), nil
+	}
+	for _, it := range items {
+		if it < 0 || int(it) >= m.Y.Rows {
+			return nil, fmt.Errorf("core: item %d out of range [0,%d)", it, m.Y.Rows)
+		}
+	}
+	smat := linalg.NewDense(m.K, m.K)
+	linalg.GramRegister(m.Y.Data, m.K, items, smat.Data)
+	smat.AddDiag(lambda)
+	xu := make([]float32, m.K)
+	linalg.GatherGaxpy(m.Y.Data, m.K, items, ratings, xu)
+	if err := linalg.CholeskySolve(smat, xu); err != nil {
+		linalg.GramRegister(m.Y.Data, m.K, items, smat.Data)
+		smat.AddDiag(lambda)
+		if err := linalg.LDLSolve(smat, xu); err != nil {
+			return nil, fmt.Errorf("core: fold-in solve: %w", err)
+		}
+	}
+	return xu, nil
+}
+
+// ScoreItems returns x·y_i for every item given a (possibly folded-in)
+// user factor vector.
+func (m *Model) ScoreItems(x []float32) []float64 {
+	out := make([]float64, m.Y.Rows)
+	for i := 0; i < m.Y.Rows; i++ {
+		out[i] = linalg.Dot(x, m.Y.Row(i))
+	}
+	return out
+}
+
+// Train factorizes the rating matrix according to cfg.
+func Train(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
+	cfg.setDefaults()
+	if mx == nil || mx.NNZ() == 0 {
+		return nil, nil, fmt.Errorf("core: empty rating matrix")
+	}
+
+	if cfg.Platform == PlatformHost {
+		return trainHost(mx, cfg)
+	}
+	dev, err := device.ByName(cfg.Platform)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainSim(mx, dev, cfg)
+}
+
+func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
+	v := cfg.Variant
+	if cfg.AutoVariant {
+		best, _, err := SelectVariant(mx, PlatformHost, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		v = best
+	} else if cfg.UseRecommended && v == (variant.Options{}) {
+		v = variant.Options{Local: true, Register: true, Vector: true}
+	}
+	start := time.Now()
+	res, err := host.Train(mx, host.Config{
+		K: cfg.K, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
+		Workers: cfg.Workers, Flat: cfg.Baseline, Variant: v,
+		WeightedLambda: cfg.WeightedLambda, TrackLoss: cfg.TrackLoss,
+		Tolerance: cfg.Tolerance,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &RunInfo{
+		Platform: PlatformHost, Variant: variantName(cfg.Baseline, v),
+		Seconds: time.Since(start).Seconds(), History: res.History,
+	}
+	return &Model{K: cfg.K, X: res.X, Y: res.Y}, info, nil
+}
+
+func trainSim(mx *sparse.Matrix, dev *device.Device, cfg Config) (*Model, *RunInfo, error) {
+	v := cfg.Variant
+	switch {
+	case cfg.Baseline:
+	case cfg.AutoVariant:
+		best, _, err := SelectVariant(mx, cfg.Platform, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		v = best
+	case cfg.UseRecommended && v == (variant.Options{}):
+		if dev.Kind == device.GPU {
+			v = variant.Options{Local: true, Register: true}
+		} else {
+			v = variant.Options{Local: true}
+		}
+	}
+	spec := kernels.FromVariant(v)
+	if cfg.Baseline {
+		spec = kernels.Baseline()
+	}
+	res, err := kernels.Train(mx, kernels.Config{
+		Device: dev, Spec: spec,
+		K: cfg.K, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
+		Groups: cfg.Groups, GroupSize: cfg.GroupSize,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &RunInfo{
+		Platform: cfg.Platform, Variant: variantName(cfg.Baseline, v),
+		Seconds: res.Seconds(), Simulated: true,
+	}
+	for i := 0; i < 3; i++ {
+		info.StageSeconds[i] = dev.Seconds(res.Report.StageCycles[i])
+	}
+	return &Model{K: cfg.K, X: res.X, Y: res.Y}, info, nil
+}
+
+func variantName(baseline bool, v variant.Options) string {
+	if baseline {
+		return "flat baseline"
+	}
+	return v.String()
+}
+
+// SelectVariant empirically picks the fastest of the 8 code variants for
+// the given platform by probing each with a single iteration (the paper's
+// Sec. III-D selection). It returns the winner and all measurements sorted
+// fastest-first.
+func SelectVariant(mx *sparse.Matrix, platform string, cfg Config) (variant.Options, []variant.Measurement, error) {
+	cfg.setDefaults()
+	probe := cfg
+	probe.Iterations = 1
+	probe.AutoVariant = false
+	probe.UseRecommended = false
+	probe.Baseline = false
+
+	var firstErr error
+	measure := func(v variant.Options) float64 {
+		probe.Variant = v
+		if platform == PlatformHost {
+			start := time.Now()
+			_, err := host.Train(mx, host.Config{
+				K: probe.K, Lambda: probe.Lambda, Iterations: 1, Seed: probe.Seed,
+				Workers: probe.Workers, Variant: v,
+			})
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return time.Since(start).Seconds()
+		}
+		dev, err := device.ByName(platform)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		res, err := kernels.Train(mx, kernels.Config{
+			Device: dev, Spec: kernels.FromVariant(v),
+			K: probe.K, Lambda: probe.Lambda, Iterations: 1, Seed: probe.Seed,
+			Groups: probe.Groups, GroupSize: probe.GroupSize,
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		return res.Seconds()
+	}
+	best, ms := variant.SelectBest(variant.All(), measure)
+	if firstErr != nil {
+		return variant.Options{}, nil, firstErr
+	}
+	return best, ms, nil
+}
+
+// FeaturesOf extracts the learned selector's features for a dataset and
+// platform (see variant.MLSelector).
+func FeaturesOf(mx *sparse.Matrix, platform string, k int) variant.Features {
+	st := sparse.RowStats(mx.R)
+	return variant.Features{
+		DeviceKind:  platform,
+		K:           k,
+		MeanRowNNZ:  st.Mean,
+		RowCoV:      st.CoV,
+		Rows:        float64(mx.Rows()),
+		FixedFactor: float64(mx.Cols()*k) * 4 / (1 << 20),
+	}
+}
+
+const modelMagic = uint32(0x414C5332) // "ALS2"
+
+const flagHasIDMaps = uint64(1)
+
+// Save writes the model in a compact little-endian binary format:
+// header (magic, k, m, n, flags), X, Y, then — when present — the external
+// user and item ID tables.
+func (m *Model) Save(w io.Writer) error {
+	if (m.UserIDs == nil) != (m.ItemIDs == nil) {
+		return fmt.Errorf("core: model has only one of UserIDs/ItemIDs")
+	}
+	if m.UserIDs != nil && (len(m.UserIDs) != m.X.Rows || len(m.ItemIDs) != m.Y.Rows) {
+		return fmt.Errorf("core: ID table lengths (%d,%d) do not match factors (%d,%d)",
+			len(m.UserIDs), len(m.ItemIDs), m.X.Rows, m.Y.Rows)
+	}
+	var flags uint64
+	if m.UserIDs != nil {
+		flags |= flagHasIDMaps
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint64{uint64(modelMagic), uint64(m.K), uint64(m.X.Rows), uint64(m.Y.Rows), flags}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.X.Data); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Y.Data); err != nil {
+		return err
+	}
+	if flags&flagHasIDMaps != 0 {
+		if err := binary.Write(bw, binary.LittleEndian, m.UserIDs); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m.ItemIDs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [5]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("core: reading model header: %w", err)
+		}
+	}
+	if uint32(hdr[0]) != modelMagic {
+		return nil, fmt.Errorf("core: bad model magic %#x", hdr[0])
+	}
+	k, m, n, flags := int(hdr[1]), int(hdr[2]), int(hdr[3]), hdr[4]
+	if k <= 0 || m < 0 || n < 0 {
+		return nil, fmt.Errorf("core: invalid model dims k=%d m=%d n=%d", k, m, n)
+	}
+	// Guard against corrupt headers demanding absurd allocations: the
+	// largest plausible model (full YahooMusic R1 at k=1000) is ~2G floats.
+	const maxFloats = int64(1) << 32
+	if int64(k) > 1<<20 || int64(m)*int64(k) > maxFloats || int64(n)*int64(k) > maxFloats {
+		return nil, fmt.Errorf("core: implausible model dims k=%d m=%d n=%d", k, m, n)
+	}
+	mod := &Model{K: k, X: linalg.NewDense(m, k), Y: linalg.NewDense(n, k)}
+	if err := binary.Read(br, binary.LittleEndian, &mod.X.Data); err != nil {
+		return nil, fmt.Errorf("core: reading X: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &mod.Y.Data); err != nil {
+		return nil, fmt.Errorf("core: reading Y: %w", err)
+	}
+	if flags&flagHasIDMaps != 0 {
+		mod.UserIDs = make([]int64, m)
+		mod.ItemIDs = make([]int64, n)
+		if err := binary.Read(br, binary.LittleEndian, &mod.UserIDs); err != nil {
+			return nil, fmt.Errorf("core: reading user IDs: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &mod.ItemIDs); err != nil {
+			return nil, fmt.Errorf("core: reading item IDs: %w", err)
+		}
+	}
+	return mod, nil
+}

@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Split partitions a rating matrix into train and test sets by holding out
+// each rating independently with probability testFrac. The split is
+// deterministic for a given seed. Users/items that end up with no training
+// ratings simply keep zero factors (Algorithm 2 skips empty rows), matching
+// how the paper's implementation handles cold rows.
+func Split(mx *sparse.Matrix, testFrac float64, seed int64) (train, test *sparse.Matrix, err error) {
+	if testFrac < 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: testFrac %g out of [0,1)", testFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m, n := mx.Rows(), mx.Cols()
+	trainCOO := sparse.NewCOO(m, n)
+	testCOO := sparse.NewCOO(m, n)
+	r := mx.R
+	for u := 0; u < m; u++ {
+		cols, vals := r.Row(u)
+		for j, c := range cols {
+			if rng.Float64() < testFrac {
+				testCOO.Append(u, int(c), vals[j])
+			} else {
+				trainCOO.Append(u, int(c), vals[j])
+			}
+		}
+	}
+	// Preserve logical dimensions even if the last rows/cols went to one side.
+	trainCOO.Rows, trainCOO.Cols = m, n
+	testCOO.Rows, testCOO.Cols = m, n
+	train, err = sparse.NewMatrix(trainCOO)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = sparse.NewMatrix(testCOO)
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

@@ -1,0 +1,262 @@
+// Package device models the three execution platforms of the paper's
+// evaluation — the NVIDIA Tesla K20c GPU, the Intel Xeon Phi 31SP MIC and
+// the dual-socket Intel Xeon E5-2670 CPU — at the level of the mechanisms
+// the paper's optimizations target:
+//
+//   - hierarchical thread organization: compute units executing lock-step
+//     SIMT warps (GPU) or SIMD vector lanes (CPU/MIC), so divergent lanes
+//     serialize (Sec. III-B, "unbalanced thread use");
+//   - the coalescing rule: a warp's global access is split into memory
+//     transactions of a fixed width, so per-lane scattered addresses cost a
+//     transaction each ("scattered memory access");
+//   - on-chip local memory with its own latency (GPU has a physical
+//     scratch-pad; CPU/MIC emulate it in cache, paper Sec. V-B);
+//   - per-work-item register budgets with spilling (Sec. III-C1);
+//   - caches on CPU/MIC, modeled as a deterministic hit fraction from
+//     working-set size;
+//   - host↔accelerator transfers over PCIe for GPU and MIC.
+//
+// A kernel run reports what it did as Counters; Device.Cycles weighs them
+// into a cycle estimate, and Device.Seconds converts cycles at the device
+// clock. The absolute numbers are estimates; the experiments only rely on
+// the relative shapes these mechanisms produce (see DESIGN.md §5).
+package device
+
+import "fmt"
+
+// Kind discriminates the three architecture classes of the paper.
+type Kind int
+
+const (
+	// CPU is a cache-rich multi-core with out-of-order cores and SIMD units.
+	CPU Kind = iota
+	// GPU is a SIMT many-core with physical scratch-pad memory and no
+	// meaningful per-thread cache.
+	GPU
+	// MIC is a many-core coprocessor: wide SIMD, small in-order cores,
+	// cache-based like a CPU but latency-bound like a GPU.
+	MIC
+)
+
+// String returns the figure-legend name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case MIC:
+		return "MIC"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Device describes one platform. All latencies are in core cycles; the
+// calibration constants were fixed once against the paper's headline ratios
+// (see calibrate_test.go) and are not fitted per experiment.
+type Device struct {
+	Name string
+	Kind Kind
+
+	ComputeUnits int     // SMs on GPU, cores on CPU/MIC
+	WarpSize     int     // lock-step width: CUDA warp or SIMD vector width
+	ClockGHz     float64 // per-CU issue clock
+
+	// IssueCPI is the average cycles per lane-group ALU operation
+	// (multiply-add granularity), capturing in-order vs out-of-order width.
+	IssueCPI float64
+
+	// Global memory.
+	TransactionBytes int     // coalescing granularity (GPU) / cacheline (CPU, MIC)
+	GlobalLatency    float64 // cycles per transaction after overlap
+	// MemOverlap divides global latency to model how well the architecture
+	// hides memory latency with other warps/threads (higher = better).
+	MemOverlap float64
+
+	// Caches (CPU/MIC); zero on GPU where the tiny L2 is folded into
+	// GlobalLatency.
+	CacheBytes   int64   // aggregate last-level cache
+	CacheLatency float64 // cycles per cacheline access on hit
+
+	// Scratch-pad ("local memory" in OpenCL).
+	HasScratchpad bool    // physical (GPU) vs emulated in cache (CPU/MIC)
+	LocalBytes    int     // capacity per CU
+	LocalLatency  float64 // cycles per access
+
+	// Registers.
+	RegistersPerWI int     // addressable 32-bit registers per work-item
+	SpillLatency   float64 // cycles per spilled private access
+
+	// VectorBenefit scales ALU cost when the kernel uses explicit wide
+	// vectors: 1 = no benefit (GPU, already SIMT), <1 = speedup (CPU/MIC).
+	VectorBenefit float64
+
+	// ScalarPenalty multiplies ALU cost when a kernel shape defeats the
+	// implicit vectorizer (the paper's register-restructured loop on
+	// CPU/MIC, Sec. V-B).
+	ScalarPenalty float64
+
+	// PCIeGBs is the host link bandwidth for initial data placement;
+	// zero means host memory (no transfer).
+	PCIeGBs float64
+
+	// GroupOverhead is the fixed scheduling cost (cycles) each work-group
+	// incurs per row task, and WarpOverhead the cost of each extra resident
+	// warp in a group (idle warps at large group sizes, Fig. 10).
+	GroupOverhead float64
+	WarpOverhead  float64
+}
+
+// K20c returns the NVIDIA Tesla K20c model: 13 SMs × 192 CUDA cores,
+// 0.706 GHz, 208 GB/s GDDR5, 48 KB scratch-pad and 255 registers per
+// thread (Sec. III-C1), PCIe gen2 x16.
+func K20c() *Device {
+	return &Device{
+		Name: "Tesla K20c", Kind: GPU,
+		ComputeUnits: 13, WarpSize: 32, ClockGHz: 0.706,
+		IssueCPI:         0.02, // 192 lanes/SM ≈ 6 warps issued per cycle
+		TransactionBytes: 128, GlobalLatency: 440, MemOverlap: 24,
+		CacheBytes: 0, CacheLatency: 0,
+		HasScratchpad: true, LocalBytes: 48 * 1024, LocalLatency: 0.9,
+		RegistersPerWI: 255, SpillLatency: 4,
+		VectorBenefit: 1.0, ScalarPenalty: 1.0,
+		PCIeGBs:       6.0,
+		GroupOverhead: 180, WarpOverhead: 90,
+	}
+}
+
+// XeonE52670 returns the dual-socket Intel Xeon E5-2670 model: 16 cores at
+// 2.6 GHz, AVX (8 float lanes), 2×20 MB L3. Local memory is emulated: the
+// OpenCL runtime places it in ordinary cached memory.
+func XeonE52670() *Device {
+	return &Device{
+		Name: "Xeon E5-2670 x2", Kind: CPU,
+		ComputeUnits: 16, WarpSize: 8, ClockGHz: 2.6,
+		IssueCPI:         3.5, // OpenCL-on-CPU work-item loops issue far below peak
+		TransactionBytes: 64, GlobalLatency: 190, MemOverlap: 3.2,
+		CacheBytes: 40 << 20, CacheLatency: 2.4,
+		HasScratchpad: false, LocalBytes: 32 * 1024, LocalLatency: 2.4,
+		RegistersPerWI: 16, SpillLatency: 1.6, // spills land in L1
+		VectorBenefit: 0.62, ScalarPenalty: 1.75,
+		PCIeGBs:       0,
+		GroupOverhead: 400, WarpOverhead: 12,
+	}
+}
+
+// XeonPhi31SP returns the Intel Xeon Phi 31SP model: 57 in-order cores at
+// 1.1 GHz with 512-bit SIMD (16 float lanes), 28.5 MB aggregate L2,
+// PCIe-attached. In-order execution and high memory latency make it the
+// slowest platform for this workload (Fig. 9).
+func XeonPhi31SP() *Device {
+	return &Device{
+		Name: "Xeon Phi 31SP", Kind: MIC,
+		ComputeUnits: 57, WarpSize: 16, ClockGHz: 1.1,
+		IssueCPI:         11, // in-order scalar issue + heavy OpenCL runtime per item
+		TransactionBytes: 64, GlobalLatency: 340, MemOverlap: 1.6,
+		CacheBytes: 28 << 20, CacheLatency: 36,
+		HasScratchpad: false, LocalBytes: 32 * 1024, LocalLatency: 36,
+		RegistersPerWI: 32, SpillLatency: 3.4,
+		VectorBenefit: 0.45, ScalarPenalty: 2.2,
+		PCIeGBs:       6.0,
+		GroupOverhead: 2600, WarpOverhead: 140,
+	}
+}
+
+// All returns the three evaluation platforms in the paper's figure order
+// (GPU, MIC, CPU).
+func All() []*Device {
+	return []*Device{K20c(), XeonPhi31SP(), XeonE52670()}
+}
+
+// ByName finds a device model by its Kind string ("CPU", "GPU", "MIC").
+func ByName(name string) (*Device, error) {
+	for _, d := range All() {
+		if d.Kind.String() == name || d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("device: unknown device %q", name)
+}
+
+// Counters records what a kernel did, in device-neutral units. The sim
+// aggregates them per work-group and per stage (S1/S2/S3).
+type Counters struct {
+	// ALUOps counts lane-group operations: one op is one lock-step
+	// multiply-add step of a warp/vector (already divided by lane width).
+	ALUOps float64
+	// VectorALUOps are ALU ops issued through the explicit vector path.
+	VectorALUOps float64
+	// ScalarALUOps are ALU ops in shapes that defeat implicit vectorization
+	// on CPU/MIC (charged with ScalarPenalty).
+	ScalarALUOps float64
+	// GlobalTx counts global-memory transactions after coalescing.
+	GlobalTx float64
+	// CacheHits/CacheMisses split cacheline accesses on cache-based devices.
+	CacheHits   float64
+	CacheMisses float64
+	// LocalOps counts scratch-pad accesses.
+	LocalOps float64
+	// SpillOps counts register-spill round trips.
+	SpillOps float64
+	// Overhead is fixed scheduling cost in cycles (group/warp overheads).
+	Overhead float64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.ALUOps += other.ALUOps
+	c.VectorALUOps += other.VectorALUOps
+	c.ScalarALUOps += other.ScalarALUOps
+	c.GlobalTx += other.GlobalTx
+	c.CacheHits += other.CacheHits
+	c.CacheMisses += other.CacheMisses
+	c.LocalOps += other.LocalOps
+	c.SpillOps += other.SpillOps
+	c.Overhead += other.Overhead
+}
+
+// Cycles converts counters into an estimated cycle count on this device.
+func (d *Device) Cycles(c Counters) float64 {
+	cy := c.Overhead
+	cy += c.ALUOps * d.IssueCPI
+	cy += c.VectorALUOps * d.IssueCPI * d.VectorBenefit
+	cy += c.ScalarALUOps * d.IssueCPI * d.ScalarPenalty
+	cy += c.GlobalTx * d.GlobalLatency / d.MemOverlap
+	cy += c.CacheHits * d.CacheLatency
+	cy += c.CacheMisses * d.GlobalLatency / d.MemOverlap
+	cy += c.LocalOps * d.LocalLatency
+	cy += c.SpillOps * d.SpillLatency
+	return cy
+}
+
+// Seconds converts a cycle count to seconds at the device clock.
+func (d *Device) Seconds(cycles float64) float64 {
+	return cycles / (d.ClockGHz * 1e9)
+}
+
+// TransferSeconds models the one-time host→device placement of the rating
+// matrix and factor matrices over PCIe; zero for host-resident devices.
+func (d *Device) TransferSeconds(bytes int64) float64 {
+	if d.PCIeGBs <= 0 {
+		return 0
+	}
+	return float64(bytes) / (d.PCIeGBs * 1e9)
+}
+
+// CacheHitFraction deterministically models how much of a streamed working
+// set of the given size hits the last-level cache: 1 when it fits, scaling
+// down toward a floor as it grows. GPU returns 0 (no modeled cache).
+func (d *Device) CacheHitFraction(workingSet int64) float64 {
+	if d.CacheBytes == 0 || workingSet <= 0 {
+		return 0
+	}
+	if workingSet <= d.CacheBytes {
+		return 1
+	}
+	f := float64(d.CacheBytes) / float64(workingSet)
+	const floor = 0.05 // streaming still hits on re-referenced lines
+	if f < floor {
+		return floor
+	}
+	return f
+}

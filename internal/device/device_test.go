@@ -1,0 +1,137 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" || MIC.String() != "MIC" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind should format")
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	devs := All()
+	if len(devs) != 3 {
+		t.Fatalf("All returned %d devices", len(devs))
+	}
+	// Paper order: GPU, MIC, CPU.
+	if devs[0].Kind != GPU || devs[1].Kind != MIC || devs[2].Kind != CPU {
+		t.Fatal("All order wrong (want GPU, MIC, CPU)")
+	}
+	for _, name := range []string{"CPU", "GPU", "MIC", "Tesla K20c"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Fatal("ByName accepted unknown device")
+	}
+}
+
+func TestPublishedSpecs(t *testing.T) {
+	gpu := K20c()
+	if gpu.ComputeUnits != 13 || gpu.WarpSize != 32 || gpu.RegistersPerWI != 255 {
+		t.Fatalf("K20c specs wrong: %+v", gpu)
+	}
+	if !gpu.HasScratchpad || gpu.LocalBytes != 48*1024 {
+		t.Fatal("K20c scratchpad wrong")
+	}
+	cpu := XeonE52670()
+	if cpu.ComputeUnits != 16 || cpu.Kind != CPU || cpu.HasScratchpad {
+		t.Fatalf("E5-2670 specs wrong: %+v", cpu)
+	}
+	mic := XeonPhi31SP()
+	if mic.ComputeUnits != 57 || mic.WarpSize != 16 || mic.Kind != MIC {
+		t.Fatalf("Phi specs wrong: %+v", mic)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{ALUOps: 1, VectorALUOps: 2, ScalarALUOps: 3, GlobalTx: 4,
+		CacheHits: 5, CacheMisses: 6, LocalOps: 7, SpillOps: 8, Overhead: 9}
+	var b Counters
+	b.Add(a)
+	b.Add(a)
+	if b.ALUOps != 2 || b.GlobalTx != 8 || b.Overhead != 18 || b.SpillOps != 16 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+}
+
+func TestCyclesWeighting(t *testing.T) {
+	d := &Device{
+		IssueCPI: 2, GlobalLatency: 100, MemOverlap: 4, CacheLatency: 3,
+		LocalLatency: 1.5, SpillLatency: 7, VectorBenefit: 0.5, ScalarPenalty: 2,
+	}
+	c := Counters{
+		ALUOps: 10, VectorALUOps: 10, ScalarALUOps: 10,
+		GlobalTx: 2, CacheHits: 4, CacheMisses: 2, LocalOps: 8, SpillOps: 3, Overhead: 5,
+	}
+	// 5 + 10*2 + 10*2*0.5 + 10*2*2 + 2*25 + 4*3 + 2*25 + 8*1.5 + 3*7
+	want := 5.0 + 20 + 10 + 40 + 50 + 12 + 50 + 12 + 21
+	if got := d.Cycles(c); got != want {
+		t.Fatalf("Cycles = %g, want %g", got, want)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	d := &Device{ClockGHz: 2}
+	if got := d.Seconds(4e9); got != 2 {
+		t.Fatalf("Seconds = %g, want 2", got)
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	gpu := K20c()
+	if got := gpu.TransferSeconds(6e9); got != 1 {
+		t.Fatalf("TransferSeconds = %g, want 1", got)
+	}
+	cpu := XeonE52670()
+	if got := cpu.TransferSeconds(1 << 30); got != 0 {
+		t.Fatalf("CPU TransferSeconds = %g, want 0", got)
+	}
+}
+
+func TestCacheHitFraction(t *testing.T) {
+	cpu := XeonE52670()
+	if got := cpu.CacheHitFraction(1 << 10); got != 1 {
+		t.Fatalf("small working set hit fraction = %g, want 1", got)
+	}
+	if got := cpu.CacheHitFraction(cpu.CacheBytes * 2); got != 0.5 {
+		t.Fatalf("2x working set hit fraction = %g, want 0.5", got)
+	}
+	if got := cpu.CacheHitFraction(cpu.CacheBytes * 1000); got != 0.05 {
+		t.Fatalf("huge working set hit fraction = %g, want floor 0.05", got)
+	}
+	gpu := K20c()
+	if got := gpu.CacheHitFraction(1); got != 0 {
+		t.Fatalf("GPU hit fraction = %g, want 0 (no modeled cache)", got)
+	}
+	if got := cpu.CacheHitFraction(0); got != 0 {
+		t.Fatalf("zero working set = %g, want 0", got)
+	}
+}
+
+// TestCyclesMonotone: more work never costs fewer cycles on any device.
+func TestCyclesMonotone(t *testing.T) {
+	f := func(alu, tx, spill uint16) bool {
+		base := Counters{ALUOps: 10, GlobalTx: 10, SpillOps: 10}
+		more := base
+		more.ALUOps += float64(alu)
+		more.GlobalTx += float64(tx)
+		more.SpillOps += float64(spill)
+		for _, d := range All() {
+			if d.Cycles(more) < d.Cycles(base) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

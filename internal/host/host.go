@@ -1,0 +1,337 @@
+// Package host implements the ALS solver as real goroutine-parallel Go for
+// the machine the benchmarks run on. It is the wall-clock counterpart to the
+// simulated-device kernels in internal/kernels: the same code-variant space
+// (flat baseline vs. thread batching; register/local/vector toggles) mapped
+// to genuine host mechanisms:
+//
+//   - flat scheduling  -> one static contiguous block of rows per worker,
+//     so skewed rows imbalance the workers (the SAC'15 baseline behaviour);
+//   - thread batching  -> dynamic chunked work sharing via an atomic cursor;
+//   - registers        -> the Fig. 3b k-strip accumulator kernel instead of
+//     the k×k scratch;
+//   - local memory     -> staging the gathered rows of Y (and the row's
+//     ratings) into a dense per-worker buffer before computing, i.e. cache
+//     blocking;
+//   - vector units     -> 4-way unrolled inner loops.
+//
+// Every variant produces identical factors for identical inputs (the
+// package tests assert this), so scheduling and kernel choice change only
+// performance — the paper's definition of a code variant.
+package host
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+	"repro/internal/variant"
+)
+
+// Config controls one ALS training run.
+type Config struct {
+	K          int     // latent factor dimensionality (paper default 10)
+	Lambda     float32 // regularization coefficient (paper default 0.1)
+	Iterations int     // full ALS iterations (paper uses 5 for timing)
+	Workers    int     // goroutines; 0 means GOMAXPROCS
+	Seed       int64   // seed for Y's random initial guess
+
+	// Flat selects the SAC'15 baseline scheduling (static contiguous row
+	// blocks, scatter kernel) regardless of Variant.
+	Flat bool
+	// Variant selects the optimization toggles for thread-batched runs.
+	Variant variant.Options
+
+	// WeightedLambda enables the ALS-WR convention λ·|Ω_u|·I (Zhou et al.)
+	// instead of the paper's plain λI.
+	WeightedLambda bool
+
+	// TrackLoss records the regularized loss (Eq. 2) after every half-step;
+	// costs an extra pass over the ratings, so benchmarks leave it off.
+	TrackLoss bool
+	// Tolerance enables early stopping (Algorithm 1's "until it reaches the
+	// maximum specified cycles or error rate"): training stops once the
+	// relative loss improvement of a full iteration falls below Tolerance.
+	// Implies loss evaluation each iteration. 0 disables.
+	Tolerance float64
+	// ChunkSize is the number of rows a batched worker claims at once;
+	// 0 means a heuristic based on m and Workers.
+	ChunkSize int
+}
+
+func (c *Config) setDefaults(m int) {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 64
+		if m/(c.Workers*8) < 64 {
+			c.ChunkSize = 1 + m/(c.Workers*8)
+		}
+	}
+}
+
+// IterStats records per-half-iteration progress when TrackLoss is on.
+type IterStats struct {
+	Iteration int     // 1-based full iteration
+	Half      string  // "X" or "Y"
+	Loss      float64 // regularized loss, Eq. 2
+	Elapsed   time.Duration
+}
+
+// Result is a trained factorization.
+type Result struct {
+	X, Y    *linalg.Dense // user (m×k) and item (n×k) factors
+	History []IterStats
+	Elapsed time.Duration
+	// Converged is the iteration early stopping fired at (0 when Tolerance
+	// was unset; Iterations when the loop ran to completion).
+	Converged int
+}
+
+// Predict returns the estimated rating r̂_ui = x_u·y_i.
+func (r *Result) Predict(u, i int) float64 {
+	return linalg.Dot(r.X.Row(u), r.Y.Row(i))
+}
+
+// RMSE evaluates the model on a rating matrix.
+func (r *Result) RMSE(on *sparse.CSR) float64 { return metrics.RMSE(on, r.X, r.Y) }
+
+// Train runs ALS (Algorithm 1): X and Y are updated alternately, each side
+// solved exactly row-by-row via Cholesky, for Config.Iterations rounds.
+func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
+	m, n := mx.Rows(), mx.Cols()
+	cfg.setDefaults(m)
+	if mx.NNZ() == 0 {
+		return nil, fmt.Errorf("host: empty rating matrix")
+	}
+	x := linalg.NewDense(m, cfg.K)
+	y := InitialY(n, cfg.K, cfg.Seed)
+
+	// The Y update runs the same row-update code on Rᵀ: build a CSR view of
+	// the transpose by reinterpreting the CSC arrays (no copy).
+	rt := &sparse.CSR{NumRows: n, NumCols: m, RowPtr: mx.C.ColPtr, ColIdx: mx.C.RowIdx, Val: mx.C.Val}
+
+	res := &Result{X: x, Y: y}
+	start := time.Now()
+	prevLoss := math.Inf(1)
+	for it := 1; it <= cfg.Iterations; it++ {
+		if err := updateSide(mx.R, y, x, cfg); err != nil {
+			return nil, fmt.Errorf("host: iteration %d update X: %w", it, err)
+		}
+		if cfg.TrackLoss {
+			res.History = append(res.History, IterStats{
+				Iteration: it, Half: "X",
+				Loss:    metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda),
+				Elapsed: time.Since(start),
+			})
+		}
+		if err := updateSide(rt, x, y, cfg); err != nil {
+			return nil, fmt.Errorf("host: iteration %d update Y: %w", it, err)
+		}
+		if cfg.TrackLoss {
+			res.History = append(res.History, IterStats{
+				Iteration: it, Half: "Y",
+				Loss:    metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda),
+				Elapsed: time.Since(start),
+			})
+		}
+		if cfg.Tolerance > 0 {
+			var loss float64
+			if cfg.TrackLoss {
+				loss = res.History[len(res.History)-1].Loss
+			} else {
+				loss = metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+			}
+			res.Converged = it
+			if prevLoss-loss < cfg.Tolerance*prevLoss {
+				break
+			}
+			prevLoss = loss
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// InitialY fills Y with the paper's "small random numbers" initial guess.
+// Exported so the simulated-device kernels start from the identical Y and
+// the variant-equivalence tests can compare factors across substrates.
+func InitialY(n, k int, seed int64) *linalg.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	y := linalg.NewDense(n, k)
+	for i := range y.Data {
+		y.Data[i] = rng.Float32() * 0.1
+	}
+	return y
+}
+
+// updateSide recomputes every row of out by solving
+// (FᵀF|Ω + λI)·out_u = Fᵀ r_u with F = fixed, using the configured
+// scheduling and kernel variant.
+func updateSide(r *sparse.CSR, fixed, out *linalg.Dense, cfg Config) error {
+	m := r.NumRows
+	if m == 0 {
+		return nil
+	}
+	workers := cfg.Workers
+	if workers > m {
+		workers = m
+	}
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+
+	runWorker := func(w int) {
+		defer wg.Done()
+		ws := newWorkerState(cfg.K)
+		if cfg.Flat {
+			lo := w * m / workers
+			hi := (w + 1) * m / workers
+			for u := lo; u < hi; u++ {
+				if err := updateRow(r, fixed, out, u, cfg, ws); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+			return
+		}
+		for {
+			base := int(cursor.Add(int64(cfg.ChunkSize))) - cfg.ChunkSize
+			if base >= m {
+				return
+			}
+			end := base + cfg.ChunkSize
+			if end > m {
+				end = m
+			}
+			for u := base; u < end; u++ {
+				if err := updateRow(r, fixed, out, u, cfg, ws); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go runWorker(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}
+
+// workerState is the per-goroutine scratch: the k×k normal matrix, the
+// k-vector right-hand side, and the staging buffers the "local memory"
+// variant copies gathered data into.
+type workerState struct {
+	smat      *linalg.Dense
+	svec      []float32
+	stageY    []float32 // staged rows of the fixed factor, omega×k
+	stageVals []float32
+	stageCols []int32
+}
+
+func newWorkerState(k int) *workerState {
+	return &workerState{smat: linalg.NewDense(k, k), svec: make([]float32, k)}
+}
+
+func (ws *workerState) ensureStage(omega, k int) {
+	if cap(ws.stageY) < omega*k {
+		ws.stageY = make([]float32, omega*k)
+	}
+	ws.stageY = ws.stageY[:omega*k]
+	if cap(ws.stageVals) < omega {
+		ws.stageVals = make([]float32, omega)
+		ws.stageCols = make([]int32, omega)
+	}
+	ws.stageVals = ws.stageVals[:omega]
+	ws.stageCols = ws.stageCols[:omega]
+}
+
+// updateRow solves one row's normal equations (Algorithm 2 body).
+func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *workerState) error {
+	k := cfg.K
+	cols, vals := r.Row(u)
+	omega := len(cols)
+	xu := out.Row(u)
+	if omega == 0 {
+		for i := range xu {
+			xu[i] = 0
+		}
+		return nil
+	}
+
+	src := fixed.Data
+	gcols, gvals := cols, vals
+	if !cfg.Flat && cfg.Variant.Local {
+		// Stage the needed columns of the fixed factor contiguously (Fig. 5):
+		// on the host this is cache blocking — one pass of gathered copies,
+		// then dense sequential access in S1 and S2.
+		ws.ensureStage(omega, k)
+		for z, c := range cols {
+			copy(ws.stageY[z*k:(z+1)*k], fixed.Row(int(c)))
+			ws.stageCols[z] = int32(z)
+		}
+		copy(ws.stageVals, vals)
+		src = ws.stageY
+		gcols, gvals = ws.stageCols, ws.stageVals
+	}
+
+	// S1: smat = FᵀF|Ω.
+	switch {
+	case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
+		linalg.GramScatter(src, k, gcols, ws.smat.Data)
+	case cfg.Variant.Vector:
+		linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
+	default:
+		linalg.GramRegister(src, k, gcols, ws.smat.Data)
+	}
+	// Regularize: λI (paper) or λ|Ω_u|I (ALS-WR).
+	lam := cfg.Lambda
+	if cfg.WeightedLambda {
+		lam *= float32(omega)
+	}
+	ws.smat.AddDiag(lam)
+
+	// S2: svec = Fᵀ r_u.
+	if !cfg.Flat && cfg.Variant.Vector {
+		linalg.GatherGaxpyUnrolled(src, k, gcols, gvals, ws.svec)
+	} else {
+		linalg.GatherGaxpy(src, k, gcols, gvals, ws.svec)
+	}
+
+	// S3: Cholesky solve; LDL fallback for borderline systems (λ = 0).
+	if err := linalg.CholeskySolve(ws.smat, ws.svec); err != nil {
+		switch {
+		case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
+			linalg.GramScatter(src, k, gcols, ws.smat.Data)
+		case cfg.Variant.Vector:
+			linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
+		default:
+			linalg.GramRegister(src, k, gcols, ws.smat.Data)
+		}
+		ws.smat.AddDiag(lam)
+		if err := linalg.LDLSolve(ws.smat, ws.svec); err != nil {
+			return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
+		}
+	}
+	copy(xu, ws.svec)
+	return nil
+}

@@ -1,0 +1,378 @@
+package kernels
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// The cost model. Quantities are derived from the kernel shapes of the
+// paper's Fig. 3 and Algorithm 2; each formula states which mechanism it
+// charges. Lane-level lock-step work is expressed in "steps": one step is
+// one warp/vector-wide multiply-add issue.
+//
+// Notation: k = latent factor, ws = work-group size, ω = row nonzeros,
+// colIters = ⌈k/ws⌉ (passes each lane makes over the k columns).
+
+// env carries launch-wide quantities shared by all rows of one update.
+type env struct {
+	dev      *device.Device
+	k        int
+	ws       int
+	colIters int
+	warps    int // resident warps per group: ⌈ws/WarpSize⌉
+	// hitY is the deterministic cache-hit fraction when streaming gathered
+	// rows of the fixed factor straight from global memory (CPU/MIC).
+	hitY float64
+	// lineFloats is how many floats one memory transaction/cacheline holds.
+	lineFloats int
+	// fullChunks/idleChunks: per column-pass vector-chunk counts on CPU/MIC
+	// (see newEnv).
+	fullChunks int
+	idleChunks int
+}
+
+func newEnv(d *device.Device, k, ws int, fixedRows int) env {
+	ci := (k + ws - 1) / ws
+	w := (ws + d.WarpSize - 1) / d.WarpSize
+	e := env{
+		dev: d, k: k, ws: ws, colIters: ci, warps: w,
+		hitY:       d.CacheHitFraction(int64(fixedRows) * int64(k) * 4),
+		lineFloats: d.TransactionBytes / 4,
+	}
+	if !d.HasScratchpad {
+		// On CPU/MIC the runtime packs work-items into vector chunks of
+		// WarpSize lanes. A pass over the k columns issues
+		// ceil(min(ws,k)/vw) chunks and the group loops colIters times, so
+		// ws < vw forces narrow (but full-cost) passes; ws beyond the
+		// columns adds predicated idle chunks that only cost issue slots.
+		vw := d.WarpSize
+		active := ws
+		if active > k {
+			active = k
+		}
+		chunksPerPass := (active + vw - 1) / vw
+		e.fullChunks = ci * chunksPerPass
+		executed := ci * ((ws + vw - 1) / vw)
+		e.idleChunks = executed - e.fullChunks
+		if e.idleChunks < 0 {
+			e.idleChunks = 0
+		}
+	}
+	return e
+}
+
+// rowLines is how many transactions/cachelines one k-float factor row spans.
+func (e env) rowLines() float64 {
+	return float64((e.k*4 + e.dev.TransactionBytes - 1) / e.dev.TransactionBytes)
+}
+
+// stageTiles is how many scratch-pad tiles staging ω gathered rows of k
+// floats needs (plus the ω staged rating values), given the device's local
+// memory capacity. 1 means the whole row fits at once.
+func (e env) stageTiles(omega int) int {
+	bytes := omega*e.k*4 + omega*4
+	if bytes <= e.dev.LocalBytes {
+		return 1
+	}
+	return (bytes + e.dev.LocalBytes - 1) / e.dev.LocalBytes
+}
+
+// groupOverhead charges the fixed per-row scheduling cost, including the
+// idle extra warps a too-large group keeps resident (Fig. 10's penalty at
+// 64/128 threads per group).
+func (e env) groupOverhead() device.Counters {
+	return device.Counters{
+		Overhead: e.dev.GroupOverhead + float64(e.warps-1)*e.dev.WarpOverhead,
+	}
+}
+
+// batchedS1 charges the thread-batched YᵀY+λI step for one row.
+//
+// Shape: the group's lanes split the k output columns; for each nonzero z
+// the group makes colIters lock-step passes of k multiply-adds (Fig. 3).
+// ws < k therefore costs extra passes (Fig. 10: block 8 needs two passes at
+// k=10, block 16/32 one).
+func (e env) batchedS1(spec Spec, omega int) device.Counters {
+	var c device.Counters
+	steps := float64(omega) * float64(e.colIters) * float64(e.k)
+	if !e.dev.HasScratchpad {
+		// Vector-chunk count: data volume and useful issue slots don't grow
+		// with the group size; idle chunks cost a fraction of a slot.
+		steps = float64(omega) * float64(e.k) *
+			(float64(e.fullChunks) + idleChunkCost*float64(e.idleChunks))
+	}
+
+	// ALU classification: on CPU/MIC the contiguous staged form implicitly
+	// vectorizes, the guarded register form defeats the vectorizer
+	// (Sec. V-B's "unpredictable" CPU/MIC observations), and explicit
+	// vectors restore full-width issue anywhere.
+	switch {
+	case spec.Vector:
+		c.VectorALUOps += steps
+	case spec.S1Register && !e.dev.HasScratchpad:
+		c.ScalarALUOps += steps
+	case spec.S1Local && !e.dev.HasScratchpad:
+		c.VectorALUOps += steps
+	default:
+		c.ALUOps += steps
+	}
+
+	// Accumulator traffic: without the Fig. 3b restructuring the k×k
+	// dynamically-indexed private array lives in spill space (CUDA local
+	// memory on the GPU, stack lines on CPU/MIC): one round trip per MAD.
+	if !spec.S1Register {
+		c.SpillOps += steps
+	}
+
+	if e.dev.HasScratchpad {
+		if spec.S1Local {
+			// Stage once: ω coalesced row loads, then every pass reads the
+			// scratch-pad. Rows whose staged footprint exceeds the per-CU
+			// scratch-pad are staged in tiles: same total fill traffic, but
+			// each extra tile costs a barrier + re-issue of the pass loop.
+			c.GlobalTx += float64(omega) * e.rowLines()
+			c.LocalOps += steps * 2
+			if tiles := e.stageTiles(omega); tiles > 1 {
+				c.Overhead += float64(tiles-1) * stageTileOverhead
+			}
+		} else {
+			// Every pass re-streams the gathered rows from DRAM: a coalesced
+			// load of the lane columns plus a warp-uniform load per step.
+			c.GlobalTx += steps * s1GlobalTxPerStep
+		}
+	} else {
+		// Cache-based devices: the first stream over the gathered rows pays
+		// the Y-working-set hit fraction; re-passes hit cache (the gathered
+		// set is KBs). Staging adds an explicit copy but makes the re-passes
+		// contiguous (vector-classified above).
+		firstStream := float64(omega) * e.rowLines()
+		c.CacheHits += firstStream * e.hitY
+		c.CacheMisses += firstStream * (1 - e.hitY)
+		if spec.S1Local {
+			// Staged rows pack cachelines fully and prefetch cleanly; the
+			// scattered form wastes most of each line it touches. This is
+			// why local memory helps on CPU/MIC despite the missing
+			// physical scratch-pad (the paper's Sec. V-B observation).
+			c.CacheHits += steps * s1CacheTouchPerStep * stagedTouchDiscount
+			c.ALUOps += float64(omega) * float64(e.colIters) // copy loop
+		} else {
+			c.CacheHits += steps * s1CacheTouchPerStep * scatteredTouchWaste
+		}
+	}
+	return c
+}
+
+// batchedS2 charges the Yᵀr_u gather step for one row: per nonzero, one
+// lock-step pass of the lanes over the k columns (colIters steps).
+func (e env) batchedS2(spec Spec, omega int) device.Counters {
+	var c device.Counters
+	steps := float64(omega) * float64(e.colIters)
+	if !e.dev.HasScratchpad {
+		steps = float64(omega) *
+			(float64(e.fullChunks) + idleChunkCost*float64(e.idleChunks))
+	}
+	if spec.Vector {
+		c.VectorALUOps += steps
+	} else {
+		c.ALUOps += steps
+	}
+	if e.dev.HasScratchpad {
+		if spec.S2Local {
+			// Rows already staged by S1 (or staged now): ratings staged
+			// coalesced; the column-major value indirection still costs
+			// residual scattered traffic.
+			if !spec.S1Local {
+				c.GlobalTx += float64(omega) * e.rowLines()
+			}
+			c.GlobalTx += float64(omega) * s2IndirectionTx
+			c.LocalOps += steps * 2
+		} else {
+			c.GlobalTx += steps * s2GlobalTxPerStep
+		}
+	} else {
+		if spec.S2Local && !spec.S1Local {
+			c.ALUOps += float64(omega) * float64(e.colIters)
+		}
+		touch := float64(omega) * e.rowLines()
+		if spec.S1Local || spec.S2Local {
+			c.CacheHits += touch
+		} else {
+			c.CacheHits += touch * e.hitY
+			c.CacheMisses += touch * (1 - e.hitY)
+		}
+	}
+	return c
+}
+
+// serialCPI is the effective cycles-per-flop of dependence-chained scalar
+// code (the triangular factor/solve loops): the GPU runs it on essentially
+// one lane of a warp, the in-order MIC stalls on every dependence, and the
+// out-of-order CPU hides most of the chain.
+func serialCPI(d *device.Device) float64 {
+	switch d.Kind {
+	case device.GPU:
+		return 4.5
+	case device.MIC:
+		return 9
+	default:
+		return 0.8
+	}
+}
+
+// s3 charges the dense k×k solve. Cholesky factorization does k³/6
+// multiply-adds; the generic Gaussian-elimination form the tuning story
+// starts from does k³/3 on a non-symmetric layout. The loop-carried
+// dependences make it serial work at serialCPI, on scratch that lives in
+// local memory (GPU) or L1 (CPU/MIC).
+func (e env) s3(spec Spec) device.Counters {
+	var c device.Counters
+	k := float64(e.k)
+	var flops float64
+	if spec.S3Gauss {
+		flops = k*k*k/3 + k*k
+	} else {
+		flops = k*k*k/6 + k*k
+	}
+	c.Overhead += flops * serialCPI(e.dev)
+	if e.dev.HasScratchpad {
+		c.LocalOps += flops * s3ScratchTouch
+	} else {
+		c.CacheHits += flops * s3ScratchTouch
+	}
+	c.Add(e.groupOverhead())
+	return c
+}
+
+// flatWarp charges one lock-step bundle of the SAC'15 flat kernel —
+// WarpSize consecutive rows handled by one warp/vector, maxOmega the
+// longest row — returning the three stages separately.
+//
+// Mechanisms (Sec. III-B diagnosis):
+//   - unbalanced thread use: on the GPU every lane waits for the longest
+//     row — cost scales with maxΩ·(active lanes), not ΣΩ;
+//   - scattered access: lanes walk different rows, so each lane's load is
+//     its own transaction (no coalescing) on the GPU;
+//   - the k×k private scratch spills (dynamic indexing), charged per MAD.
+//
+// On CPU/MIC the baseline is the OpenMP code: independent scalar threads,
+// so there is no lock-step serialization — rows cost their own ω — but
+// accesses are scalar and cache-dependent, and core-level imbalance appears
+// across compute units through the scheduler in als.go.
+func (e env) flatWarp(omegas []int, maxOmega int) (s1, s2, s3 device.Counters) {
+	k := float64(e.k)
+	triangle := k * (k + 1) / 2
+	rows := float64(len(omegas))
+
+	if e.dev.Kind == device.GPU {
+		// Lock-step effective length: lanes wait for the longest row, but
+		// the SM hides part of that wait behind its other resident warps,
+		// so the charged length blends the warp maximum with the mean.
+		var sum int
+		for _, o := range omegas {
+			sum += o
+		}
+		mean := float64(sum) / rows
+		effOmega := warpOverlapAlpha*float64(maxOmega) + (1-warpOverlapAlpha)*mean
+
+		// S1: every lane walks the full pair triangle of its row; each
+		// lane's loads target its own row of Y, so a step issues up to
+		// `rows` distinct transactions (scatter), partially merged in L2.
+		steps1 := effOmega * triangle
+		s1.ALUOps += steps1
+		s1.SpillOps += steps1
+		s1.GlobalTx += steps1 * flatScatterTxPerStep * rows
+		// S2: the gather of Yᵀr_u, same serialization and scatter plus the
+		// column-major rating indirection (colMajored_sparse_id).
+		steps2 := effOmega * k
+		s2.ALUOps += steps2
+		s2.GlobalTx += steps2 * flatScatterTxPerStep * rows * 1.5
+		// S3: every lane factorizes its own k×k system out of spill space;
+		// the scattered spill accesses serialize the lanes.
+		flops := k*k*k/6 + k*k
+		s3.Overhead += rows * flops * serialCPI(e.dev) * flatS3LaneSerial
+		s3.SpillOps += rows * flops * flatS3ScratchTouch
+		s3.Overhead += e.dev.GroupOverhead
+		return s1, s2, s3
+	}
+
+	// CPU/MIC OpenMP baseline: per-row scalar work, summed. The column-major
+	// value indirection chains every load (flatCPUIndirection) and the pair
+	// loop re-streams the gathered rows (flatCPUReloadFactor).
+	for _, omega := range omegas {
+		w := float64(omega)
+		s1.ScalarALUOps += w * triangle * flatCPUIndirection
+		s1.SpillOps += w * triangle * cpuFlatScratchTouch
+		touch := w * e.rowLines() * flatCPUReloadFactor
+		s1.CacheHits += touch * e.hitY
+		s1.CacheMisses += touch * (1 - e.hitY)
+		s2.ScalarALUOps += w * k * flatCPUIndirection
+		s2.CacheHits += w * e.rowLines() * e.hitY
+		s2.CacheMisses += w * e.rowLines() * (1 - e.hitY)
+		flops := k*k*k/6 + k*k
+		s3.Overhead += flops * serialCPI(e.dev)
+		s3.CacheHits += flops * s3ScratchTouch
+	}
+	s3.Overhead += e.dev.GroupOverhead
+	return s1, s2, s3
+}
+
+// Calibration constants. These weight the per-step memory shapes above;
+// they were fixed once against the paper's headline ratios (Fig. 1: flat
+// CUDA ≈ 8.4× slower than flat OpenMP; Fig. 7: 21.2× on K20c and 5.5× on
+// E5-2670 over the flat baselines, 2.2–6.8× over cuMF; Fig. 9: CPU < GPU <
+// MIC) and are asserted to stay in-band by calibrate_test.go.
+const (
+	// s1GlobalTxPerStep: transactions per lock-step S1 MAD without local
+	// staging on the GPU (coalesced lane load + uniform load, L2-mitigated).
+	s1GlobalTxPerStep = 0.55
+	// s2GlobalTxPerStep: transactions per S2 step without staging: the Y
+	// row reload plus the scattered column-major rating load behind the
+	// colMajored_sparse_id indirection (Algorithm 2, line 10).
+	s2GlobalTxPerStep = 2.2
+	// s2IndirectionTx: residual scattered transactions per nonzero that the
+	// rating indirection costs even with the factor rows staged locally.
+	s2IndirectionTx = 0.7
+	// s1CacheTouchPerStep: cacheline touches per S1 MAD on CPU/MIC once the
+	// gathered rows are cache-resident.
+	s1CacheTouchPerStep = 1.0
+	// stagedTouchDiscount/scatteredTouchWaste scale those touches when the
+	// rows are staged contiguously vs walked through scattered lines.
+	stagedTouchDiscount = 0.6
+	scatteredTouchWaste = 1.25
+	// idleChunkCost: issue-slot fraction a predicated idle vector chunk
+	// costs on CPU/MIC when the group size exceeds the useful lanes.
+	idleChunkCost = 0.06
+	// stageTileOverhead: cycles per extra scratch-pad tile when a staged
+	// row exceeds the local-memory capacity (barrier + loop re-issue).
+	stageTileOverhead = 220.0
+	// s3ScratchTouch: scratch touches per S3 flop (smat working set).
+	s3ScratchTouch = 0.5
+	// warpOverlapAlpha: weight of the warp-max row length (vs the warp
+	// mean) in the flat kernel's effective lock-step length; resident warps
+	// on the same SM hide part of the divergence stall.
+	warpOverlapAlpha = 0.4
+	// flatScatterTxPerStep: scattered transactions per lock-step flat-kernel
+	// MAD per active lane (2 operand loads, partially L2-merged).
+	flatScatterTxPerStep = 0.27
+	// flatS3LaneSerial: fraction of per-lane S3 work that serializes across
+	// the warp through conflicting spill accesses in the flat kernel.
+	flatS3LaneSerial = 0.8
+	// flatS3ScratchTouch: spill-space touches per S3 flop in the flat GPU
+	// kernel (smat lives in CUDA local memory there).
+	flatS3ScratchTouch = 1.0
+	// cpuFlatScratchTouch: stack-scratch touches per flat MAD on CPU/MIC.
+	cpuFlatScratchTouch = 2.0
+	// flatCPUIndirection: issue-rate multiplier for the baseline's
+	// dependence-chained column-major value indirection on CPU/MIC.
+	flatCPUIndirection = 1.35
+	// flatCPUReloadFactor: extra streams over the gathered rows the
+	// unblocked baseline makes on CPU/MIC (pair loop re-reads).
+	flatCPUReloadFactor = 8.0
+)
+
+// chargeStages is a helper used by the kernels to charge S1/S2/S3 at once.
+func chargeStages(acc *sim.Acc, s1, s2, s3 device.Counters) {
+	acc.Charge(sim.S1, s1)
+	acc.Charge(sim.S2, s2)
+	acc.Charge(sim.S3, s3)
+}

@@ -1,0 +1,212 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestEnvChunkGeometry(t *testing.T) {
+	cpu := device.XeonE52670()  // vector width 8
+	mic := device.XeonPhi31SP() // vector width 16
+	cases := []struct {
+		dev        *device.Device
+		k, ws      int
+		full, idle int
+	}{
+		// CPU, k=10: two AVX chunks cover the columns regardless of ws≤16.
+		{cpu, 10, 8, 2, 0},
+		{cpu, 10, 16, 2, 0},
+		{cpu, 10, 32, 2, 2},   // 4 executed chunks, 2 useful
+		{cpu, 10, 128, 2, 14}, // 16 executed chunks
+		// MIC, k=10: one 16-wide chunk suffices at ws>=16; ws=8 forces two
+		// half-width passes (both full cost).
+		{mic, 10, 16, 1, 0},
+		{mic, 10, 8, 2, 0},
+		{mic, 10, 32, 1, 1},
+		// k larger than ws.
+		{cpu, 40, 8, 5, 0},
+	}
+	for _, tc := range cases {
+		e := newEnv(tc.dev, tc.k, tc.ws, 100)
+		if e.fullChunks != tc.full || e.idleChunks != tc.idle {
+			t.Errorf("%s k=%d ws=%d: chunks full=%d idle=%d, want %d/%d",
+				tc.dev.Kind, tc.k, tc.ws, e.fullChunks, e.idleChunks, tc.full, tc.idle)
+		}
+	}
+}
+
+func TestEnvWarpsAndColIters(t *testing.T) {
+	gpu := device.K20c()
+	e := newEnv(gpu, 10, 8, 100)
+	if e.colIters != 2 || e.warps != 1 {
+		t.Fatalf("ws=8: colIters=%d warps=%d", e.colIters, e.warps)
+	}
+	e = newEnv(gpu, 10, 128, 100)
+	if e.colIters != 1 || e.warps != 4 {
+		t.Fatalf("ws=128: colIters=%d warps=%d", e.colIters, e.warps)
+	}
+}
+
+// TestS1CostMonotoneInOmega: more nonzeros never cost fewer cycles, for
+// every device and spec.
+func TestS1CostMonotoneInOmega(t *testing.T) {
+	specs := []Spec{{}, {S1Register: true}, {S1Local: true}, {S1Local: true, S1Register: true, Vector: true}}
+	f := func(omega8 uint8, extra uint8) bool {
+		omega := int(omega8) + 1
+		bigger := omega + int(extra) + 1
+		for _, dev := range device.All() {
+			e := newEnv(dev, 10, 32, 5000)
+			for _, spec := range specs {
+				a := dev.Cycles(e.batchedS1(spec, omega))
+				b := dev.Cycles(e.batchedS1(spec, bigger))
+				if b < a {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterRemovesSpills: the Fig. 3b restructuring's defining effect.
+func TestRegisterRemovesSpills(t *testing.T) {
+	gpu := device.K20c()
+	e := newEnv(gpu, 10, 32, 1000)
+	base := e.batchedS1(Spec{}, 50)
+	reg := e.batchedS1(Spec{S1Register: true}, 50)
+	if base.SpillOps == 0 {
+		t.Fatal("baseline S1 charged no spill traffic")
+	}
+	if reg.SpillOps != 0 {
+		t.Fatalf("register S1 still spills: %g", reg.SpillOps)
+	}
+}
+
+// TestLocalMovesTrafficToScratchpad: on the GPU, staging must convert
+// per-step global transactions into one fill plus local accesses.
+func TestLocalMovesTrafficToScratchpad(t *testing.T) {
+	gpu := device.K20c()
+	e := newEnv(gpu, 10, 32, 1000)
+	noLoc := e.batchedS1(Spec{S1Register: true}, 80)
+	loc := e.batchedS1(Spec{S1Register: true, S1Local: true}, 80)
+	if !(loc.GlobalTx < noLoc.GlobalTx/2) {
+		t.Fatalf("staging did not cut global traffic: %g vs %g", loc.GlobalTx, noLoc.GlobalTx)
+	}
+	if loc.LocalOps == 0 {
+		t.Fatal("staged S1 charged no local accesses")
+	}
+	if noLoc.LocalOps != 0 {
+		t.Fatal("unstaged S1 charged local accesses")
+	}
+}
+
+// TestCPUClassification: the ALU classification rules behind the paper's
+// CPU/MIC anomalies (Sec. V-B).
+func TestCPUClassification(t *testing.T) {
+	cpu := device.XeonE52670()
+	e := newEnv(cpu, 10, 32, 1000)
+	plain := e.batchedS1(Spec{}, 40)
+	if plain.ALUOps == 0 || plain.VectorALUOps != 0 || plain.ScalarALUOps != 0 {
+		t.Fatalf("plain batched misclassified: %+v", plain)
+	}
+	local := e.batchedS1(Spec{S1Local: true}, 40)
+	if local.VectorALUOps == 0 {
+		t.Fatalf("staged form should auto-vectorize: %+v", local)
+	}
+	reg := e.batchedS1(Spec{S1Register: true}, 40)
+	if reg.ScalarALUOps == 0 {
+		t.Fatalf("register form should defeat the vectorizer: %+v", reg)
+	}
+	vec := e.batchedS1(Spec{S1Register: true, Vector: true}, 40)
+	if vec.VectorALUOps == 0 || vec.ScalarALUOps != 0 {
+		t.Fatalf("explicit vectors should restore wide issue: %+v", vec)
+	}
+}
+
+// TestFlatWarpSerialization: the flat GPU bundle's cost follows the longest
+// row, damped by the warp-overlap blend.
+func TestFlatWarpSerialization(t *testing.T) {
+	gpu := device.K20c()
+	e := newEnv(gpu, 10, 32, 1000)
+	balanced := make([]int, 32)
+	skewed := make([]int, 32)
+	for i := range balanced {
+		balanced[i] = 50
+		skewed[i] = 1
+	}
+	skewed[0] = 50*32 - 31 // same total work, one huge row
+	b1, b2, b3 := e.flatWarp(balanced, 50)
+	s1, s2, s3 := e.flatWarp(skewed, skewed[0])
+	bal := gpu.Cycles(b1) + gpu.Cycles(b2) + gpu.Cycles(b3)
+	skw := gpu.Cycles(s1) + gpu.Cycles(s2) + gpu.Cycles(s3)
+	if !(skw > bal*3) {
+		t.Fatalf("skewed warp (%.0f) not much slower than balanced (%.0f) at equal work", skw, bal)
+	}
+}
+
+// TestFlatCPUNoLockStep: on the CPU the flat baseline sums per-row work —
+// the same total nonzeros cost the same regardless of distribution.
+func TestFlatCPUNoLockStep(t *testing.T) {
+	cpu := device.XeonE52670()
+	e := newEnv(cpu, 10, 8, 1000)
+	balanced := []int{50, 50, 50, 50}
+	skewed := []int{197, 1, 1, 1}
+	b1, b2, b3 := e.flatWarp(balanced, 50)
+	s1, s2, s3 := e.flatWarp(skewed, 197)
+	bal := cpu.Cycles(b1) + cpu.Cycles(b2) + cpu.Cycles(b3)
+	skw := cpu.Cycles(s1) + cpu.Cycles(s2) + cpu.Cycles(s3)
+	rel := skw / bal
+	if rel < 0.99 || rel > 1.01 {
+		t.Fatalf("CPU flat cost depends on within-bundle distribution: ratio %.3f", rel)
+	}
+}
+
+// TestS3CholeskyCheaperThanGauss: the Sec. V-C S3 optimization.
+func TestS3CholeskyCheaperThanGauss(t *testing.T) {
+	for _, dev := range device.All() {
+		e := newEnv(dev, 10, 32, 1000)
+		chol := dev.Cycles(e.s3(Spec{}))
+		gauss := dev.Cycles(e.s3(Spec{S3Gauss: true}))
+		if !(chol < gauss) {
+			t.Errorf("%s: Cholesky S3 (%.0f) not cheaper than Gauss (%.0f)", dev.Kind, chol, gauss)
+		}
+	}
+}
+
+// TestGroupOverheadGrowsWithWarps: the Fig. 10 idle-warp penalty.
+func TestGroupOverheadGrowsWithWarps(t *testing.T) {
+	gpu := device.K20c()
+	small := newEnv(gpu, 10, 32, 1000).groupOverhead()
+	big := newEnv(gpu, 10, 128, 1000).groupOverhead()
+	if !(big.Overhead > small.Overhead) {
+		t.Fatalf("extra warps cost nothing: %g vs %g", big.Overhead, small.Overhead)
+	}
+}
+
+// TestStageTiles: staging footprints beyond the scratch-pad capacity split
+// into tiles and cost extra overhead.
+func TestStageTiles(t *testing.T) {
+	gpu := device.K20c() // 48 KB local
+	e := newEnv(gpu, 10, 32, 1000)
+	if got := e.stageTiles(100); got != 1 {
+		t.Fatalf("100 rows x k=10 should fit in one tile, got %d", got)
+	}
+	// 48KB / (44 bytes per staged row) ≈ 1117 rows per tile.
+	if got := e.stageTiles(3000); got != 3 {
+		t.Fatalf("3000 rows should need 3 tiles, got %d", got)
+	}
+	small := gpu.Cycles(e.batchedS1(Spec{S1Local: true, S1Register: true}, 1000))
+	big := gpu.Cycles(e.batchedS1(Spec{S1Local: true, S1Register: true}, 3000))
+	if !(big > 3*small*0.9) {
+		t.Fatalf("tiled staging cost did not scale: %g vs %g", big, small)
+	}
+	ek100 := newEnv(gpu, 100, 32, 1000)
+	if got := ek100.stageTiles(1000); got < 8 {
+		t.Fatalf("k=100 staging of 1000 rows should need many tiles, got %d", got)
+	}
+}

@@ -1,0 +1,93 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements batched small-matrix factorization in the style of
+// Kurzak/Anzt/Gates/Dongarra (the paper's reference [21], used by the
+// Gates et al. ALS in reference [22]): many independent k×k SPD systems
+// solved together, one goroutine-pool pass, with per-batch amortized
+// scheduling instead of per-system dispatch. The ALS Y-update is exactly
+// this shape — n systems of size k — and cuMF's batched LU is the generic
+// competitor modeled in internal/baseline.
+
+// BatchedSystems is a set of independent k×k symmetric positive-definite
+// systems A_i·x_i = b_i stored contiguously: As is batch·k·k row-major
+// matrices back to back, Bs is batch·k right-hand sides.
+type BatchedSystems struct {
+	K     int
+	Batch int
+	As    []float32 // len Batch*K*K; overwritten with the Cholesky factors
+	Bs    []float32 // len Batch*K; overwritten with the solutions
+}
+
+// NewBatchedSystems allocates a zeroed batch.
+func NewBatchedSystems(k, batch int) *BatchedSystems {
+	if k <= 0 || batch < 0 {
+		panic(fmt.Sprintf("linalg: bad batch shape k=%d batch=%d", k, batch))
+	}
+	return &BatchedSystems{
+		K: k, Batch: batch,
+		As: make([]float32, batch*k*k),
+		Bs: make([]float32, batch*k),
+	}
+}
+
+// System returns views of the i-th matrix and right-hand side.
+func (bs *BatchedSystems) System(i int) (*Dense, []float32) {
+	k := bs.K
+	a := NewDenseFrom(k, k, bs.As[i*k*k:(i+1)*k*k])
+	return a, bs.Bs[i*k : (i+1)*k]
+}
+
+// SolveAll factorizes and solves every system in the batch concurrently
+// across `workers` goroutines (0 = GOMAXPROCS). On return Bs holds the
+// solutions. The first failing system aborts the batch with its index.
+func (bs *BatchedSystems) SolveAll(workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > bs.Batch {
+		workers = bs.Batch
+	}
+	if bs.Batch == 0 {
+		return nil
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	// Chunked claims amortize the atomic over several small systems.
+	chunk := 16
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				base := int(cursor.Add(int64(chunk))) - chunk
+				if base >= bs.Batch {
+					return
+				}
+				end := base + chunk
+				if end > bs.Batch {
+					end = bs.Batch
+				}
+				for i := base; i < end; i++ {
+					a, b := bs.System(i)
+					if err := CholeskySolve(a, b); err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("linalg: batched system %d: %w", i, err))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}

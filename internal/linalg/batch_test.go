@@ -1,0 +1,97 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillSPDBatch plants known solutions in every system of a batch and
+// returns them.
+func fillSPDBatch(t testing.TB, bs *BatchedSystems, rng *rand.Rand) [][]float32 {
+	t.Helper()
+	k := bs.K
+	planted := make([][]float32, bs.Batch)
+	for i := 0; i < bs.Batch; i++ {
+		a, b := bs.System(i)
+		spd := randomSPD(rng, k, k+6, 0.3)
+		copy(a.Data, spd.Data)
+		x := make([]float32, k)
+		for j := range x {
+			x[j] = rng.Float32()*2 - 1
+		}
+		planted[i] = x
+		for r := 0; r < k; r++ {
+			var s float64
+			for c := 0; c < k; c++ {
+				s += float64(a.At(r, c)) * float64(x[c])
+			}
+			b[r] = float32(s)
+		}
+	}
+	return planted
+}
+
+func TestBatchedSolveAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bs := NewBatchedSystems(10, 137)
+	planted := fillSPDBatch(t, bs, rng)
+	if err := bs.SolveAll(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < bs.Batch; i++ {
+		_, got := bs.System(i)
+		for j := range got {
+			if math.Abs(float64(got[j])-float64(planted[i][j])) > 5e-2 {
+				t.Fatalf("system %d x[%d] = %g, want %g", i, j, got[j], planted[i][j])
+			}
+		}
+	}
+}
+
+func TestBatchedWorkerInvariance(t *testing.T) {
+	run := func(workers int) []float32 {
+		rng := rand.New(rand.NewSource(2))
+		bs := NewBatchedSystems(6, 64)
+		fillSPDBatch(t, bs, rng)
+		if err := bs.SolveAll(workers); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float32, len(bs.Bs))
+		copy(out, bs.Bs)
+		return out
+	}
+	a, b := run(1), run(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("solutions differ across worker counts at %d", i)
+		}
+	}
+}
+
+func TestBatchedReportsFailingSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bs := NewBatchedSystems(4, 40)
+	fillSPDBatch(t, bs, rng)
+	// Corrupt system 25 to be indefinite.
+	a, _ := bs.System(25)
+	a.Zero()
+	a.Set(0, 0, -1)
+	err := bs.SolveAll(0)
+	if err == nil {
+		t.Fatal("batched solve accepted an indefinite system")
+	}
+}
+
+func TestBatchedEmptyAndShape(t *testing.T) {
+	bs := NewBatchedSystems(3, 0)
+	if err := bs.SolveAll(4); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad shape")
+		}
+	}()
+	NewBatchedSystems(0, 4)
+}

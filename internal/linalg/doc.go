@@ -1,0 +1,13 @@
+// Package linalg provides the small dense linear-algebra kernels ALS needs
+// per row/column update: building the k×k normal-equation matrix
+// smat = YᵀY + λI restricted to a row's rated items (a SYRK-style rank-Ω
+// update), the k-vector svec = Yᵀ r_u (a gather-gaxpy), and solving the
+// resulting symmetric positive-definite system with a Cholesky LLᵀ
+// factorization plus two triangular solves — the paper's steps S1, S2, S3.
+//
+// Matrices here are dense, row-major float32 (matching the device kernels);
+// the Cholesky path accumulates in float64 for stability at larger k.
+// Where it matters for the host solver's performance, inner loops come in a
+// scalar and an unrolled/vector-width-aware form (the paper's "using vector
+// units" optimization mapped to Go).
+package linalg

@@ -1,0 +1,173 @@
+package linalg
+
+// This file implements the paper's S1 kernel on the host: the Gram matrix of
+// the factor rows selected by one sparse row,
+//
+//	smat = Σ_{z ∈ Ω(u)} y_c(z) · y_c(z)ᵀ   (+ λI added by the caller)
+//
+// It is a SYRK-style rank-|Ω| symmetric update over gathered rows of Y.
+// Three forms mirror the paper's code variants:
+//
+//   - GramScatter: the baseline's structure (Fig. 3a) — a k×k private
+//     accumulator filled pair-by-pair, iterating the nonzeros innermost.
+//   - GramRegister: the register-restructured form (Fig. 3b) — the nonzero
+//     loop outermost, a k-sized accumulator strip per output row.
+//   - GramUnrolled: GramRegister with the inner pair loop unrolled by 4,
+//     the host analogue of the paper's explicit vectorization.
+
+// GramScatter computes smat += Σ y_c·y_cᵀ with the baseline loop nest:
+// for each (i,j) output pair, scan all nonzeros. cols lists the selected row
+// indices of y (an n×k row-major factor matrix); smat is k×k row-major and
+// is fully overwritten (both triangles).
+func GramScatter(y []float32, k int, cols []int32, smat []float32) {
+	// sum[k*k] is the baseline's oversized private buffer; with large k this
+	// is exactly the structure that spills registers on the device.
+	sum := make([]float32, k*k)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			var s float32
+			for _, c := range cols {
+				d := int(c) * k
+				s += y[d+i] * y[d+j]
+			}
+			sum[i*k+j] = s
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			v := sum[i*k+j]
+			smat[i*k+j] = v
+			smat[j*k+i] = v
+		}
+	}
+}
+
+// GramRegister computes the same Gram matrix with the restructured loop of
+// Fig. 3b: the gather loop over nonzeros is outermost so each selected row
+// of Y is loaded once and contributes a rank-1 update; the live accumulator
+// working set per output row is k values, not k×k.
+func GramRegister(y []float32, k int, cols []int32, smat []float32) {
+	for i := range smat[:k*k] {
+		smat[i] = 0
+	}
+	for _, c := range cols {
+		row := y[int(c)*k : int(c)*k+k]
+		for i := 0; i < k; i++ {
+			yi := row[i]
+			out := smat[i*k:]
+			for j := i; j < k; j++ {
+				out[j] += yi * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			smat[j*k+i] = smat[i*k+j]
+		}
+	}
+}
+
+// GramUnrolled is GramRegister with the j-loop unrolled by 4, exposing
+// independent multiply-adds the way the paper's float16 OpenCL vectors do.
+func GramUnrolled(y []float32, k int, cols []int32, smat []float32) {
+	for i := range smat[:k*k] {
+		smat[i] = 0
+	}
+	for _, c := range cols {
+		row := y[int(c)*k : int(c)*k+k]
+		for i := 0; i < k; i++ {
+			yi := row[i]
+			out := smat[i*k:]
+			j := i
+			for ; j+4 <= k; j += 4 {
+				out[j] += yi * row[j]
+				out[j+1] += yi * row[j+1]
+				out[j+2] += yi * row[j+2]
+				out[j+3] += yi * row[j+3]
+			}
+			for ; j < k; j++ {
+				out[j] += yi * row[j]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			smat[j*k+i] = smat[i*k+j]
+		}
+	}
+}
+
+// GatherGaxpy computes the paper's S2 kernel on the host:
+//
+//	svec = Σ_{z ∈ Ω(u)} r(z) · y_c(z)
+//
+// i.e. the k-vector Yᵀ·r_u restricted to the row's nonzeros. svec is fully
+// overwritten.
+func GatherGaxpy(y []float32, k int, cols []int32, vals []float32, svec []float32) {
+	for i := range svec[:k] {
+		svec[i] = 0
+	}
+	for z, c := range cols {
+		r := vals[z]
+		row := y[int(c)*k : int(c)*k+k]
+		for i, v := range row {
+			svec[i] += r * v
+		}
+	}
+}
+
+// GatherGaxpyUnrolled is GatherGaxpy with the k-loop unrolled by 4.
+func GatherGaxpyUnrolled(y []float32, k int, cols []int32, vals []float32, svec []float32) {
+	for i := range svec[:k] {
+		svec[i] = 0
+	}
+	for z, c := range cols {
+		r := vals[z]
+		row := y[int(c)*k : int(c)*k+k]
+		i := 0
+		for ; i+4 <= k; i += 4 {
+			svec[i] += r * row[i]
+			svec[i+1] += r * row[i+1]
+			svec[i+2] += r * row[i+2]
+			svec[i+3] += r * row[i+3]
+		}
+		for ; i < k; i++ {
+			svec[i] += r * row[i]
+		}
+	}
+}
+
+// Dot returns the float64-accumulated inner product of two float32 vectors;
+// it is the prediction primitive r̂_ui = x_u·y_i.
+func Dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x element-wise.
+func Axpy(alpha float32, x, y []float32) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Nrm2Sq returns the squared Euclidean norm accumulated in float64, used by
+// the regularized-loss invariant tests (λ(|x_u|² + |y_i|²)).
+func Nrm2Sq(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return s
+}

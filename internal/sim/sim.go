@@ -1,0 +1,176 @@
+// Package sim is the OpenCL-style execution engine for the simulated
+// devices: it launches an NDRange of work-groups over a device's compute
+// units, runs the kernel's real arithmetic on the host, and aggregates the
+// device.Counters the kernel charges into per-stage and per-compute-unit
+// cycle totals.
+//
+// Work distribution follows the paper's launch scheme (a fixed grid such as
+// 8192 groups × 32 work-items, Sec. IV): row tasks are assigned to groups
+// grid-stride (group g processes tasks g, g+G, g+2G, …), and groups are
+// assigned to compute units round-robin. The simulated execution time is the
+// makespan: the largest per-CU sum of group cycles, converted to seconds at
+// the device clock. Everything is deterministic — counters do not depend on
+// goroutine scheduling — which the package tests verify.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// Stage labels the three phases of the per-row ALS update (Sec. V-C):
+// S1 = YᵀY+λI, S2 = Yᵀr_u, S3 = the Cholesky solve.
+type Stage int
+
+const (
+	S1 Stage = iota
+	S2
+	S3
+	numStages
+)
+
+// String returns the paper's stage label.
+func (s Stage) String() string {
+	switch s {
+	case S1:
+		return "S1"
+	case S2:
+		return "S2"
+	case S3:
+		return "S3"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Acc accumulates a single work-group's charged counters by stage. A kernel
+// receives one Acc per group and calls Charge as it works.
+type Acc struct {
+	Dev       *device.Device
+	GroupSize int
+	stages    [numStages]device.Counters
+}
+
+// Charge adds counters to the given stage.
+func (a *Acc) Charge(s Stage, c device.Counters) {
+	a.stages[s].Add(c)
+}
+
+// Kernel processes one task (typically one row of the factor update) inside
+// a work-group, performing its real arithmetic and charging its cost.
+type Kernel func(task int, acc *Acc)
+
+// Launch describes one kernel invocation.
+type Launch struct {
+	Device    *device.Device
+	Groups    int // number of work-groups in the grid (paper: 8192)
+	GroupSize int // work-items per group (paper: 32)
+	Tasks     int // number of row tasks to cover grid-stride
+}
+
+// Report summarizes a kernel run.
+type Report struct {
+	// StageCycles are total device cycles charged per stage across all
+	// groups (drives the Fig. 8 breakdown).
+	StageCycles [numStages]float64
+	// MakespanCycles is the simulated execution time in cycles: the largest
+	// per-compute-unit sum of its groups' cycles.
+	MakespanCycles float64
+	// Seconds is MakespanCycles at the device clock.
+	Seconds float64
+	// Total aggregates all counters (diagnostics and tests).
+	Total device.Counters
+}
+
+// Add merges another report (e.g. the Y-update following the X-update).
+func (r *Report) Add(o *Report) {
+	for i := range r.StageCycles {
+		r.StageCycles[i] += o.StageCycles[i]
+	}
+	r.MakespanCycles += o.MakespanCycles
+	r.Seconds += o.Seconds
+	r.Total.Add(o.Total)
+}
+
+// StageShare returns each stage's fraction of total charged cycles,
+// the quantity Fig. 8's pie charts plot.
+func (r *Report) StageShare() [3]float64 {
+	var total float64
+	for _, c := range r.StageCycles {
+		total += c
+	}
+	var out [3]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range r.StageCycles {
+		out[i] = c / total
+	}
+	return out
+}
+
+// Run executes the launch. The kernel's arithmetic runs concurrently across
+// host goroutines (group results must only touch per-task outputs), while
+// the cost accounting reproduces the device's round-robin group placement.
+func Run(l Launch, kernel Kernel) *Report {
+	if l.Groups <= 0 || l.GroupSize <= 0 {
+		panic(fmt.Sprintf("sim: bad launch geometry %d groups × %d", l.Groups, l.GroupSize))
+	}
+	groups := l.Groups
+	if groups > l.Tasks && l.Tasks > 0 {
+		groups = l.Tasks // idle groups contribute nothing
+	}
+
+	groupCycles := make([]float64, groups)
+	groupStage := make([][numStages]device.Counters, groups)
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > groups {
+		workers = groups
+	}
+	next := make(chan int, groups)
+	for g := 0; g < groups; g++ {
+		next <- g
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for g := range next {
+				acc := &Acc{Dev: l.Device, GroupSize: l.GroupSize}
+				for task := g; task < l.Tasks; task += groups {
+					kernel(task, acc)
+				}
+				groupStage[g] = acc.stages
+				var cy float64
+				for _, c := range acc.stages {
+					cy += l.Device.Cycles(c)
+				}
+				groupCycles[g] = cy
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{}
+	cus := l.Device.ComputeUnits
+	perCU := make([]float64, cus)
+	for g := 0; g < groups; g++ {
+		perCU[g%cus] += groupCycles[g]
+		for s := Stage(0); s < numStages; s++ {
+			rep.StageCycles[s] += l.Device.Cycles(groupStage[g][s])
+			rep.Total.Add(groupStage[g][s])
+		}
+	}
+	for _, c := range perCU {
+		if c > rep.MakespanCycles {
+			rep.MakespanCycles = c
+		}
+	}
+	rep.Seconds = l.Device.Seconds(rep.MakespanCycles)
+	return rep
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func unitKernel(cost float64) Kernel {
+	return func(task int, acc *Acc) {
+		acc.Charge(S1, device.Counters{Overhead: cost})
+	}
+}
+
+func TestRunDistributesTasks(t *testing.T) {
+	dev := device.K20c()
+	var mu = make(chan int, 1000)
+	kernel := func(task int, acc *Acc) {
+		mu <- task
+		acc.Charge(S2, device.Counters{Overhead: 1})
+	}
+	rep := Run(Launch{Device: dev, Groups: 7, GroupSize: 32, Tasks: 100}, kernel)
+	close(mu)
+	seen := map[int]int{}
+	for task := range mu {
+		seen[task]++
+	}
+	if len(seen) != 100 {
+		t.Fatalf("kernel ran for %d distinct tasks, want 100", len(seen))
+	}
+	for task, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d ran %d times", task, n)
+		}
+	}
+	if rep.StageCycles[S2] != 100 {
+		t.Fatalf("S2 cycles = %g, want 100", rep.StageCycles[S2])
+	}
+}
+
+// TestMakespanIsMaxOverCUs: with one group per CU and unequal costs, the
+// makespan equals the slowest group.
+func TestMakespanIsMaxOverCUs(t *testing.T) {
+	dev := device.K20c() // 13 CUs
+	kernel := func(task int, acc *Acc) {
+		acc.Charge(S1, device.Counters{Overhead: float64((task + 1) * 100)})
+	}
+	rep := Run(Launch{Device: dev, Groups: 13, GroupSize: 32, Tasks: 13}, kernel)
+	if rep.MakespanCycles != 1300 {
+		t.Fatalf("makespan = %g, want 1300 (slowest group)", rep.MakespanCycles)
+	}
+}
+
+// TestMakespanImbalance: the round-robin CU schedule exposes load imbalance
+// (two heavy groups landing on the same CU when groups > CUs).
+func TestMakespanImbalance(t *testing.T) {
+	dev := device.K20c()
+	// 26 groups on 13 CUs: groups g and g+13 share CU g.
+	kernel := func(task int, acc *Acc) {
+		cost := 1.0
+		if task == 0 || task == 13 {
+			cost = 1000
+		}
+		acc.Charge(S1, device.Counters{Overhead: cost})
+	}
+	rep := Run(Launch{Device: dev, Groups: 26, GroupSize: 32, Tasks: 26}, kernel)
+	if rep.MakespanCycles != 2000 {
+		t.Fatalf("makespan = %g, want 2000 (both heavy groups on CU 0)", rep.MakespanCycles)
+	}
+}
+
+func TestGroupsClampedToTasks(t *testing.T) {
+	dev := device.XeonE52670()
+	rep := Run(Launch{Device: dev, Groups: 8192, GroupSize: 32, Tasks: 3}, unitKernel(10))
+	if rep.StageCycles[S1] != 30 {
+		t.Fatalf("S1 cycles = %g, want 30", rep.StageCycles[S1])
+	}
+	// 3 groups on 16 CUs: each CU holds at most one group.
+	if rep.MakespanCycles != 10 {
+		t.Fatalf("makespan = %g, want 10", rep.MakespanCycles)
+	}
+}
+
+func TestRunPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Launch{Device: device.K20c(), Groups: 0, GroupSize: 32, Tasks: 1}, unitKernel(1))
+}
+
+// TestDeterminism: repeated runs give bit-identical reports regardless of
+// scheduling (quick-check over geometries).
+func TestDeterminism(t *testing.T) {
+	dev := device.XeonPhi31SP()
+	f := func(groups8, tasks8 uint8) bool {
+		groups := int(groups8%50) + 1
+		tasks := int(tasks8)
+		kernel := func(task int, acc *Acc) {
+			acc.Charge(Stage(task%3), device.Counters{
+				ALUOps: float64(task), GlobalTx: float64(task % 7), Overhead: 3,
+			})
+		}
+		a := Run(Launch{Device: dev, Groups: groups, GroupSize: 16, Tasks: tasks}, kernel)
+		b := Run(Launch{Device: dev, Groups: groups, GroupSize: 16, Tasks: tasks}, kernel)
+		if a.MakespanCycles != b.MakespanCycles || a.Seconds != b.Seconds {
+			return false
+		}
+		for s := 0; s < 3; s++ {
+			if a.StageCycles[s] != b.StageCycles[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportAddAndShare(t *testing.T) {
+	var a, b Report
+	a.StageCycles[S1] = 60
+	a.StageCycles[S2] = 30
+	a.StageCycles[S3] = 10
+	a.MakespanCycles = 100
+	a.Seconds = 1
+	b.StageCycles[S1] = 40
+	b.MakespanCycles = 50
+	b.Seconds = 0.5
+	a.Add(&b)
+	if a.StageCycles[S1] != 100 || a.MakespanCycles != 150 || a.Seconds != 1.5 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	sh := a.StageShare()
+	if sh[0] != 100.0/140 || sh[1] != 30.0/140 || sh[2] != 10.0/140 {
+		t.Fatalf("StageShare wrong: %v", sh)
+	}
+	var empty Report
+	if s := empty.StageShare(); s[0] != 0 || s[1] != 0 || s[2] != 0 {
+		t.Fatalf("empty StageShare = %v", s)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if S1.String() != "S1" || S2.String() != "S2" || S3.String() != "S3" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(9).String() == "" {
+		t.Fatal("unknown stage should still format")
+	}
+}
+
+// TestMakespanBounds: for any geometry and cost pattern, the makespan must
+// lie between perfect balance (total/CUs) and full serialization (total).
+func TestMakespanBounds(t *testing.T) {
+	dev := device.XeonE52670()
+	f := func(groups8, tasks8, costSeed uint8) bool {
+		groups := int(groups8%60) + 1
+		tasks := int(tasks8%120) + 1
+		kernel := func(task int, acc *Acc) {
+			acc.Charge(S1, device.Counters{Overhead: float64((task*int(costSeed)+7)%97 + 1)})
+		}
+		rep := Run(Launch{Device: dev, Groups: groups, GroupSize: 8, Tasks: tasks}, kernel)
+		var total float64
+		for _, c := range rep.StageCycles {
+			total += c
+		}
+		lower := total / float64(dev.ComputeUnits)
+		const eps = 1e-9
+		return rep.MakespanCycles >= lower-eps && rep.MakespanCycles <= total+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	rep := Run(Launch{Device: device.K20c(), Groups: 4, GroupSize: 32, Tasks: 0}, unitKernel(5))
+	if rep.MakespanCycles != 0 || rep.Seconds != 0 {
+		t.Fatalf("zero-task launch cost %g cycles", rep.MakespanCycles)
+	}
+}

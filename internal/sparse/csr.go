@@ -1,0 +1,276 @@
+package sparse
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix (Fig. 2 of the paper): Val stores the
+// nonzero ratings row by row, ColIdx the column (item) index of each nonzero,
+// and RowPtr[u]..RowPtr[u+1] delimits row u's span in the two arrays.
+//
+// RowPtr uses int64 so that full-size Netflix/YahooMusic nonzero counts
+// (~10^8) stay comfortably indexable; ColIdx uses int32 to match the compact
+// device-side layout the paper's kernels assume.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int64
+	ColIdx           []int32
+	Val              []float32
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowNNZ returns the number of nonzeros in row u (the paper's omegaSize).
+func (m *CSR) RowNNZ(u int) int { return int(m.RowPtr[u+1] - m.RowPtr[u]) }
+
+// Row returns the column indices and values of row u as sub-slices backed by
+// the matrix storage. Callers must not modify them.
+func (m *CSR) Row(u int) (cols []int32, vals []float32) {
+	lo, hi := m.RowPtr[u], m.RowPtr[u+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (row, col), or 0 if the coordinate is not stored.
+// Rows are kept column-sorted, so the lookup is a binary search.
+func (m *CSR) At(row, col int) float32 {
+	cols, vals := m.Row(row)
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(cols[mid]) < col:
+			lo = mid + 1
+		case int(cols[mid]) > col:
+			hi = mid
+		default:
+			return vals[mid]
+		}
+	}
+	return 0
+}
+
+// Validate checks structural consistency: monotone row pointers, in-range and
+// strictly increasing column indices per row, and matching array lengths.
+func (m *CSR) Validate() error {
+	if m.NumRows < 0 || m.NumCols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.NumRows, m.NumCols)
+	}
+	if len(m.RowPtr) != m.NumRows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.NumRows+1)
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: ColIdx length %d != Val length %d", len(m.ColIdx), len(m.Val))
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if m.RowPtr[m.NumRows] != int64(len(m.Val)) {
+		return fmt.Errorf("sparse: RowPtr[last] = %d, want nnz %d", m.RowPtr[m.NumRows], len(m.Val))
+	}
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", r)
+		}
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			if c < 0 || int(c) >= m.NumCols {
+				return fmt.Errorf("sparse: row %d col %d out of range [0,%d)", r, c, m.NumCols)
+			}
+			if p > lo && m.ColIdx[p-1] >= c {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at pos %d", r, p)
+			}
+		}
+	}
+	return nil
+}
+
+// ToCSC transposes the CSR structure into the column-compressed view of the
+// same logical matrix. It is a two-pass counting transpose: O(nnz + n).
+func (m *CSR) ToCSC() *CSC {
+	t := &CSC{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		ColPtr:  make([]int64, m.NumCols+1),
+		RowIdx:  make([]int32, len(m.Val)),
+		Val:     make([]float32, len(m.Val)),
+	}
+	for _, c := range m.ColIdx {
+		t.ColPtr[c+1]++
+	}
+	for c := 0; c < m.NumCols; c++ {
+		t.ColPtr[c+1] += t.ColPtr[c]
+	}
+	next := make([]int64, m.NumCols)
+	copy(next, t.ColPtr[:m.NumCols])
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			t.RowIdx[q] = int32(r)
+			t.Val[q] = m.Val[p]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// ToCOO expands the matrix back to coordinate form (row-major order).
+func (m *CSR) ToCOO() *COO {
+	out := &COO{Rows: m.NumRows, Cols: m.NumCols, Entries: make([]Entry, 0, len(m.Val))}
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for p := lo; p < hi; p++ {
+			out.Entries = append(out.Entries, Entry{Row: r, Col: int(m.ColIdx[p]), Val: m.Val[p]})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSR) Clone() *CSR {
+	out := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  make([]int64, len(m.RowPtr)),
+		ColIdx:  make([]int32, len(m.ColIdx)),
+		Val:     make([]float32, len(m.Val)),
+	}
+	copy(out.RowPtr, m.RowPtr)
+	copy(out.ColIdx, m.ColIdx)
+	copy(out.Val, m.Val)
+	return out
+}
+
+// CSC is a compressed-sparse-column matrix: the column-major twin of CSR,
+// used when ALS updates the item factors Y (each column i lists the users
+// who rated item i).
+type CSC struct {
+	NumRows, NumCols int
+	ColPtr           []int64
+	RowIdx           []int32
+	Val              []float32
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSC) NNZ() int { return len(m.Val) }
+
+// ColNNZ returns the number of nonzeros in column i.
+func (m *CSC) ColNNZ(i int) int { return int(m.ColPtr[i+1] - m.ColPtr[i]) }
+
+// Col returns the row indices and values of column i as sub-slices backed by
+// the matrix storage. Callers must not modify them.
+func (m *CSC) Col(i int) (rows []int32, vals []float32) {
+	lo, hi := m.ColPtr[i], m.ColPtr[i+1]
+	return m.RowIdx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (row, col), or 0 if the coordinate is not stored.
+func (m *CSC) At(row, col int) float32 {
+	rows, vals := m.Col(col)
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(rows[mid]) < row:
+			lo = mid + 1
+		case int(rows[mid]) > row:
+			hi = mid
+		default:
+			return vals[mid]
+		}
+	}
+	return 0
+}
+
+// Validate checks structural consistency of the CSC arrays.
+func (m *CSC) Validate() error {
+	if m.NumRows < 0 || m.NumCols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.NumRows, m.NumCols)
+	}
+	if len(m.ColPtr) != m.NumCols+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(m.ColPtr), m.NumCols+1)
+	}
+	if len(m.RowIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: RowIdx length %d != Val length %d", len(m.RowIdx), len(m.Val))
+	}
+	if m.ColPtr[0] != 0 {
+		return fmt.Errorf("sparse: ColPtr[0] = %d, want 0", m.ColPtr[0])
+	}
+	if m.ColPtr[m.NumCols] != int64(len(m.Val)) {
+		return fmt.Errorf("sparse: ColPtr[last] = %d, want nnz %d", m.ColPtr[m.NumCols], len(m.Val))
+	}
+	for c := 0; c < m.NumCols; c++ {
+		lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: ColPtr not monotone at col %d", c)
+		}
+		for p := lo; p < hi; p++ {
+			r := m.RowIdx[p]
+			if r < 0 || int(r) >= m.NumRows {
+				return fmt.Errorf("sparse: col %d row %d out of range [0,%d)", c, r, m.NumRows)
+			}
+			if p > lo && m.RowIdx[p-1] >= r {
+				return fmt.Errorf("sparse: col %d rows not strictly increasing at pos %d", c, p)
+			}
+		}
+	}
+	return nil
+}
+
+// ToCSR transposes the CSC structure back to the row-compressed view.
+func (m *CSC) ToCSR() *CSR {
+	t := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  make([]int64, m.NumRows+1),
+		ColIdx:  make([]int32, len(m.Val)),
+		Val:     make([]float32, len(m.Val)),
+	}
+	for _, r := range m.RowIdx {
+		t.RowPtr[r+1]++
+	}
+	for r := 0; r < m.NumRows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	next := make([]int64, m.NumRows)
+	copy(next, t.RowPtr[:m.NumRows])
+	for c := 0; c < m.NumCols; c++ {
+		lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+		for p := lo; p < hi; p++ {
+			r := m.RowIdx[p]
+			q := next[r]
+			t.ColIdx[q] = int32(c)
+			t.Val[q] = m.Val[p]
+			next[r]++
+		}
+	}
+	return t
+}
+
+// Matrix bundles the CSR and CSC views of one rating matrix R, the pair the
+// ALS solver needs (CSR to update X, CSC to update Y).
+type Matrix struct {
+	R *CSR // row view: users × items
+	C *CSC // column view of the same matrix
+}
+
+// NewMatrix builds both views from coordinate data. Duplicates are merged
+// with DedupKeepLast.
+func NewMatrix(coo *COO) (*Matrix, error) {
+	coo.Dedup(DedupKeepLast)
+	r, err := coo.ToCSR()
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{R: r, C: r.ToCSC()}, nil
+}
+
+// Rows returns the number of users m.
+func (mx *Matrix) Rows() int { return mx.R.NumRows }
+
+// Cols returns the number of items n.
+func (mx *Matrix) Cols() int { return mx.R.NumCols }
+
+// NNZ returns the number of observed ratings.
+func (mx *Matrix) NNZ() int { return mx.R.NNZ() }

@@ -1,0 +1,13 @@
+// Package sparse provides the sparse-matrix storage substrate used by the
+// ALS solver: compressed sparse row (CSR), compressed sparse column (CSC)
+// and coordinate (COO) formats for the user×item rating matrix R, together
+// with builders, format conversions, structural statistics and I/O.
+//
+// The ALS algorithm updates the user-factor matrix X row by row using the
+// CSR view of R (each row u lists the items user u rated) and updates the
+// item-factor matrix Y column by column using the CSC view (each column i
+// lists the users who rated item i). Both views share the same logical
+// matrix; Transpose and the Matrix builder keep them consistent.
+//
+// Values are stored as float32 to match the paper's OpenCL kernels.
+package sparse

@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadTriplesFormats(t *testing.T) {
+	cases := []struct {
+		name     string
+		input    string
+		oneBased bool
+	}{
+		{"space separated", "0 1 4.0\n1 0 2.5\n", false},
+		{"tab separated", "0\t1\t4.0\n1\t0\t2.5\n", false},
+		{"comma separated", "0,1,4.0\n1,0,2.5\n", false},
+		{"movielens double colon", "1::2::4.0\n2::1::2.5\n", true},
+		{"one based", "1 2 4.0\n2 1 2.5\n", true},
+		{"with comments and blanks", "% header\n\n# note\n0 1 4.0\n1 0 2.5\n", false},
+		{"extra fields (timestamps)", "0 1 4.0 978300760\n1 0 2.5 978302109\n", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coo, err := ReadTriples(strings.NewReader(tc.input), tc.oneBased)
+			if err != nil {
+				t.Fatalf("ReadTriples: %v", err)
+			}
+			m, err := coo.ToCSR()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.At(0, 1) != 4.0 || m.At(1, 0) != 2.5 {
+				t.Fatalf("parsed values wrong: At(0,1)=%g At(1,0)=%g", m.At(0, 1), m.At(1, 0))
+			}
+		})
+	}
+}
+
+func TestReadTriplesErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"too few fields", "0 1\n"},
+		{"bad user", "x 1 4.0\n"},
+		{"bad item", "0 y 4.0\n"},
+		{"bad rating", "0 1 zzz\n"},
+		{"negative after one-based adjust", "0 1 4.0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oneBased := tc.name == "negative after one-based adjust"
+			if _, err := ReadTriples(strings.NewReader(tc.input), oneBased); err == nil {
+				t.Fatal("expected parse error")
+			}
+		})
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, err := randomCOO(rng, 15, 25, 100).ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTriples(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	coo, err := ReadTriples(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NNZ() != m.NNZ() {
+		t.Fatalf("nnz %d != %d", m2.NNZ(), m.NNZ())
+	}
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for j := range cols {
+			if got := m2.At(r, int(cols[j])); got != vals[j] {
+				t.Fatalf("value mismatch at (%d,%d): %g != %g", r, cols[j], got, vals[j])
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m, err := randomCOO(rng, 50, 60, 500).ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumRows != m.NumRows || m2.NumCols != m.NumCols || m2.NNZ() != m.NNZ() {
+		t.Fatalf("dims mismatch after binary round trip")
+	}
+	for i := range m.Val {
+		if m.Val[i] != m2.Val[i] || m.ColIdx[i] != m2.ColIdx[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadBinaryRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 64))
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, err := randomCOO(rng, 10, 10, 40).ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestReadBinaryRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []uint64{uint64(binaryMagic), 1 << 60, 4, 4}
+	for _, h := range hdr {
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("accepted 2^60-row header")
+	}
+}

@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DegreeStats summarizes the distribution of nonzeros per row (or column).
+// The paper's thread-batching argument rests on this distribution being
+// heavily skewed for real recommender datasets: with one flat thread per
+// row, a warp's execution time is the maximum row length among its 32 lanes,
+// so skew translates directly into idle lanes.
+type DegreeStats struct {
+	Count  int     // number of rows/columns
+	Min    int     // shortest row
+	Max    int     // longest row
+	Mean   float64 // average nonzeros per row
+	Median float64
+	P90    float64 // 90th percentile
+	P99    float64 // 99th percentile
+	StdDev float64
+	// CoV is the coefficient of variation (StdDev/Mean), the paper's
+	// "significantly uneven" measure: 0 for perfectly balanced rows.
+	CoV float64
+	// Empty is the number of rows with no nonzeros (skipped by ALS,
+	// Algorithm 2 line 5: "if omegaSize > 0").
+	Empty int
+}
+
+// RowStats computes the degree distribution over the rows of a CSR matrix.
+func RowStats(m *CSR) DegreeStats {
+	deg := make([]int, m.NumRows)
+	for r := 0; r < m.NumRows; r++ {
+		deg[r] = m.RowNNZ(r)
+	}
+	return degreeStats(deg)
+}
+
+// ColStats computes the degree distribution over the columns of a CSC matrix.
+func ColStats(m *CSC) DegreeStats {
+	deg := make([]int, m.NumCols)
+	for c := 0; c < m.NumCols; c++ {
+		deg[c] = m.ColNNZ(c)
+	}
+	return degreeStats(deg)
+}
+
+func degreeStats(deg []int) DegreeStats {
+	s := DegreeStats{Count: len(deg)}
+	if len(deg) == 0 {
+		return s
+	}
+	sorted := make([]int, len(deg))
+	copy(sorted, deg)
+	sort.Ints(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	var sum, sumSq float64
+	for _, d := range deg {
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		if d == 0 {
+			s.Empty++
+		}
+	}
+	s.Mean = sum / float64(len(deg))
+	variance := sumSq/float64(len(deg)) - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.StdDev = math.Sqrt(variance)
+	if s.Mean > 0 {
+		s.CoV = s.StdDev / s.Mean
+	}
+	s.Median = percentile(sorted, 0.5)
+	s.P90 = percentile(sorted, 0.9)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile returns the p-quantile (0<=p<=1) of pre-sorted integer data
+// using nearest-rank interpolation.
+func percentile(sorted []int, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// WarpImbalance estimates the fraction of lane-cycles wasted when rows are
+// assigned one-per-lane to SIMT groups of the given width, as in the flat
+// baseline kernel. It equals 1 - sum(len)/ (groups * groupMax), aggregated
+// over consecutive groups of `width` rows. A balanced matrix gives ~0; a
+// skewed recommender matrix gives a large fraction, quantifying the paper's
+// "unbalanced thread use" diagnosis.
+func WarpImbalance(m *CSR, width int) float64 {
+	if width <= 0 {
+		panic(fmt.Sprintf("sparse: non-positive warp width %d", width))
+	}
+	var useful, total int64
+	for base := 0; base < m.NumRows; base += width {
+		end := base + width
+		if end > m.NumRows {
+			end = m.NumRows
+		}
+		var groupMax int64
+		for r := base; r < end; r++ {
+			l := int64(m.RowNNZ(r))
+			useful += l
+			if l > groupMax {
+				groupMax = l
+			}
+		}
+		total += groupMax * int64(end-base)
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(useful)/float64(total)
+}
+
+// String formats the stats in one line for reports.
+func (s DegreeStats) String() string {
+	return fmt.Sprintf("count=%d min=%d max=%d mean=%.1f median=%.0f p90=%.0f p99=%.0f cov=%.2f empty=%d",
+		s.Count, s.Min, s.Max, s.Mean, s.Median, s.P90, s.P99, s.CoV, s.Empty)
+}

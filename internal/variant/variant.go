@@ -1,0 +1,124 @@
+// Package variant defines the code-variant space of the paper's Section
+// III-D: starting from the thread-batching parallelization, the three
+// architecture-specific optimizations (registers, local memory, vector
+// units) are individually toggleable, yielding 8 functionally-equivalent
+// variants. The package also implements the empirical variant selector the
+// paper uses, and the machine-learning-based selector its future-work
+// section proposes.
+package variant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options is one point in the optimization space. The zero value is plain
+// thread batching with no architecture-specific optimization.
+type Options struct {
+	// Register applies the Fig. 3b restructuring: a k-sized accumulator
+	// strip instead of the k×k private scratch, keeping the working set in
+	// registers.
+	Register bool
+	// Local stages the gathered columns of Y and the current row's nonzeros
+	// in on-chip local memory (Fig. 5).
+	Local bool
+	// Vector uses explicit wide vector operations (float16-style) in the
+	// inner loops.
+	Vector bool
+}
+
+// All enumerates the 8 variants in the paper's presentation order: the
+// bare thread-batching version first, then single optimizations, pairs,
+// and the full combination.
+func All() []Options {
+	return []Options{
+		{},
+		{Register: true},
+		{Local: true},
+		{Vector: true},
+		{Register: true, Local: true},
+		{Register: true, Vector: true},
+		{Local: true, Vector: true},
+		{Register: true, Local: true, Vector: true},
+	}
+}
+
+// Ladder returns the incremental sequence Figure 6 plots: thread batching,
+// +local memory, +local memory+register, +vector(all).
+func Ladder() []Options {
+	return []Options{
+		{},
+		{Local: true},
+		{Local: true, Register: true},
+		{Local: true, Register: true, Vector: true},
+	}
+}
+
+// String names the variant the way the paper's figure legends do.
+func (o Options) String() string {
+	parts := []string{"thread batching"}
+	if o.Local {
+		parts = append(parts, "local memory")
+	}
+	if o.Register {
+		parts = append(parts, "register")
+	}
+	if o.Vector {
+		parts = append(parts, "vector")
+	}
+	return strings.Join(parts, "+")
+}
+
+// ID returns a compact stable identifier (e.g. "tb", "tb+reg+loc+vec").
+func (o Options) ID() string {
+	id := "tb"
+	if o.Register {
+		id += "+reg"
+	}
+	if o.Local {
+		id += "+loc"
+	}
+	if o.Vector {
+		id += "+vec"
+	}
+	return id
+}
+
+// ParseID is the inverse of ID; it accepts the toggles in any order.
+func ParseID(s string) (Options, error) {
+	var o Options
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "tb", "":
+		case "reg":
+			o.Register = true
+		case "loc":
+			o.Local = true
+		case "vec":
+			o.Vector = true
+		default:
+			return Options{}, fmt.Errorf("variant: unknown token %q in %q", part, s)
+		}
+	}
+	return o, nil
+}
+
+// Measurement is one empirical observation of a variant's run time.
+type Measurement struct {
+	Variant Options
+	Seconds float64
+}
+
+// SelectBest runs the measure callback for every candidate variant and
+// returns the fastest, implementing the paper's empirical selection. The
+// returned slice carries all measurements, sorted fastest-first, so callers
+// can report the full comparison (Fig. 6).
+func SelectBest(candidates []Options, measure func(Options) float64) (Options, []Measurement) {
+	ms := make([]Measurement, 0, len(candidates))
+	for _, c := range candidates {
+		ms = append(ms, Measurement{Variant: c, Seconds: measure(c)})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Seconds < ms[j].Seconds })
+	return ms[0].Variant, ms
+}

@@ -1,0 +1,158 @@
+package variant
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllEnumeratesEightVariants(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("All() returned %d variants, paper defines 8", len(all))
+	}
+	seen := map[string]bool{}
+	for _, v := range all {
+		if seen[v.ID()] {
+			t.Fatalf("duplicate variant %s", v.ID())
+		}
+		seen[v.ID()] = true
+	}
+	if !seen["tb"] || !seen["tb+reg+loc+vec"] {
+		t.Fatal("missing bare or fully-combined variant")
+	}
+}
+
+func TestLadderMatchesFig6(t *testing.T) {
+	l := Ladder()
+	want := []string{"tb", "tb+loc", "tb+reg+loc", "tb+reg+loc+vec"}
+	if len(l) != len(want) {
+		t.Fatalf("ladder length %d, want %d", len(l), len(want))
+	}
+	for i, v := range l {
+		if v.ID() != want[i] {
+			t.Fatalf("ladder[%d] = %s, want %s", i, v.ID(), want[i])
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if (Options{}).String() != "thread batching" {
+		t.Fatalf("bare name = %q", (Options{}).String())
+	}
+	v := Options{Local: true, Register: true, Vector: true}
+	if v.String() != "thread batching+local memory+register+vector" {
+		t.Fatalf("full name = %q", v.String())
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	f := func(reg, loc, vec bool) bool {
+		v := Options{Register: reg, Local: loc, Vector: vec}
+		got, err := ParseID(v.ID())
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseID("tb+warp"); err == nil {
+		t.Fatal("ParseID accepted unknown token")
+	}
+	// Order-insensitive.
+	v, err := ParseID("vec+tb+reg")
+	if err != nil || !v.Vector || !v.Register || v.Local {
+		t.Fatalf("ParseID out-of-order failed: %+v %v", v, err)
+	}
+}
+
+func TestSelectBest(t *testing.T) {
+	cands := All()
+	// Cost model: local saves 5, vector saves 2, register costs 1.
+	cost := func(o Options) float64 {
+		c := 10.0
+		if o.Local {
+			c -= 5
+		}
+		if o.Vector {
+			c -= 2
+		}
+		if o.Register {
+			c += 1
+		}
+		return c
+	}
+	best, ms := SelectBest(cands, cost)
+	if best != (Options{Local: true, Vector: true}) {
+		t.Fatalf("SelectBest = %+v", best)
+	}
+	if len(ms) != 8 {
+		t.Fatalf("measurements %d, want 8", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Seconds < ms[i-1].Seconds {
+			t.Fatal("measurements not sorted fastest-first")
+		}
+	}
+}
+
+func TestMLSelectorEmpty(t *testing.T) {
+	s := NewMLSelector(3)
+	if _, err := s.Predict(Features{DeviceKind: "GPU"}); err == nil {
+		t.Fatal("expected error from untrained selector")
+	}
+}
+
+func TestMLSelectorLearnsPerArchitecture(t *testing.T) {
+	s := NewMLSelector(3)
+	gpuBest := Options{Local: true, Register: true}
+	cpuBest := Options{Local: true}
+	// Train with several contexts per architecture, mirroring the paper's
+	// per-architecture recommendations.
+	for i := 0; i < 5; i++ {
+		s.Train(Sample{
+			Features: Features{DeviceKind: "GPU", K: 10, MeanRowNNZ: float64(20 + i*30),
+				RowCoV: 1.5, Rows: float64(1000 * (i + 1)), FixedFactor: 1},
+			Best: gpuBest,
+		})
+		s.Train(Sample{
+			Features: Features{DeviceKind: "CPU", K: 10, MeanRowNNZ: float64(20 + i*30),
+				RowCoV: 1.5, Rows: float64(1000 * (i + 1)), FixedFactor: 1},
+			Best: cpuBest,
+		})
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := s.Predict(Features{DeviceKind: "GPU", K: 10, MeanRowNNZ: 75, RowCoV: 1.4, Rows: 2500, FixedFactor: 1})
+	if err != nil || got != gpuBest {
+		t.Fatalf("GPU prediction = %+v, %v; want %+v", got, err, gpuBest)
+	}
+	got, err = s.Predict(Features{DeviceKind: "CPU", K: 10, MeanRowNNZ: 75, RowCoV: 1.4, Rows: 2500, FixedFactor: 1})
+	if err != nil || got != cpuBest {
+		t.Fatalf("CPU prediction = %+v, %v; want %+v", got, err, cpuBest)
+	}
+}
+
+func TestMLSelectorCrossArchitectureFallback(t *testing.T) {
+	s := NewMLSelector(1)
+	s.Train(Sample{Features: Features{DeviceKind: "GPU", K: 10}, Best: Options{Register: true}})
+	// No MIC samples: the selector must still answer (nearest across arch).
+	got, err := s.Predict(Features{DeviceKind: "MIC", K: 10})
+	if err != nil || got != (Options{Register: true}) {
+		t.Fatalf("fallback prediction = %+v, %v", got, err)
+	}
+}
+
+func TestMLSelectorMajorityVote(t *testing.T) {
+	s := NewMLSelector(3)
+	f := Features{DeviceKind: "CPU", K: 10, MeanRowNNZ: 50, RowCoV: 1, Rows: 1000, FixedFactor: 1}
+	winner := Options{Local: true, Vector: true}
+	s.Train(
+		Sample{Features: f, Best: winner},
+		Sample{Features: f, Best: winner},
+		Sample{Features: f, Best: Options{Register: true}},
+	)
+	got, err := s.Predict(f)
+	if err != nil || got != winner {
+		t.Fatalf("majority vote = %+v, %v; want %+v", got, err, winner)
+	}
+}
