@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments examples kernels clean
+.PHONY: all build test test-short bench ci experiments examples kernels serve clean
 
 all: build test
 
@@ -15,6 +15,17 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The full gate: formatting, static checks, build, and the race-enabled
+# short test suite (includes the serving layer's hot-swap stress test).
+ci:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -29,6 +40,12 @@ examples:
 	$(GO) run ./examples/crossplatform
 	$(GO) run ./examples/tuning
 	$(GO) run ./examples/implicit
+	$(GO) run ./examples/coldstart
+
+# Train a small preset model and serve it (see README "Serving").
+serve:
+	$(GO) run ./cmd/alstrain -preset MVLE -scale 0.02 -iters 8 -out /tmp/als-model.bin
+	$(GO) run ./cmd/alsserve -model /tmp/als-model.bin
 
 # Emit the OpenCL C sources for real hardware.
 kernels:

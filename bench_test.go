@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -428,8 +430,10 @@ func BenchmarkBatchedCholesky(b *testing.B) {
 	})
 }
 
-// BenchmarkTopN measures the bounded-heap top-N selection over a large
-// catalog (serving-path cost).
+// BenchmarkTopN measures the three top-N selection strategies over a large
+// catalog (the serving-path hot loop): the O(items·log items) full-scan
+// sort, the bounded heap (metrics.TopN, what Model.Recommend uses), and the
+// sharded scorer the serving layer runs across its worker pool.
 func BenchmarkTopN(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	const items = 100000
@@ -451,10 +455,31 @@ func BenchmarkTopN(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if len(metrics.TopN(m, x, y, 0, 10)) != 10 {
-			b.Fatal("wrong top-N size")
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(metrics.TopNSort(m, x, y, 0, 10)) != 10 {
+				b.Fatal("wrong top-N size")
+			}
 		}
-	}
+	})
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(metrics.TopN(m, x, y, 0, 10)) != 10 {
+				b.Fatal("wrong top-N size")
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		sc := serve.NewScorer(0)
+		defer sc.Close()
+		ex := serve.RatedExcluder(m, 0)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := sc.TopN(ctx, x.Row(0), y, ex, 10)
+			if err != nil || len(out) != 10 {
+				b.Fatalf("sharded top-N: %d items, %v", len(out), err)
+			}
+		}
+	})
 }

@@ -1,0 +1,186 @@
+// alsload drives a running alsserve with a power-law user distribution (the
+// datasets' hallmark skew, via dataset.ZipfSampler) and reports throughput
+// and latency percentiles — the serving-side benchmark companion to the
+// training-side figures. A fraction of traffic can exercise the fold-in
+// path with synthetic cold-start payloads.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+type modelInfo struct {
+	Version string `json:"version"`
+	Users   int    `json:"users"`
+	Items   int    `json:"items"`
+	K       int    `json:"k"`
+}
+
+type result struct {
+	latencies []time.Duration
+	codes     map[int]int
+	errors    int
+}
+
+func main() {
+	base := flag.String("addr", "http://127.0.0.1:8080", "base URL of a running alsserve")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	n := flag.Int("n", 10, "recommendations per request")
+	skew := flag.Float64("skew", 0.85, "Zipf exponent of the user distribution")
+	seed := flag.Int64("seed", 1, "sampler seed")
+	foldinFrac := flag.Float64("foldin", 0, "fraction of requests using the fold-in path")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alsload:", err)
+		os.Exit(1)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	info, err := fetchModel(client, *base)
+	if err != nil {
+		fail(fmt.Errorf("discovering model (is alsserve running?): %w", err))
+	}
+	fmt.Printf("alsload: target %s serving %s: %d users x %d items (k=%d)\n",
+		*base, info.Version, info.Users, info.Items, info.K)
+	fmt.Printf("alsload: %d workers, %v, n=%d, user skew %.2f, fold-in %.0f%%\n",
+		*concurrency, *duration, *n, *skew, *foldinFrac*100)
+
+	deadline := time.Now().Add(*duration)
+	results := make([]result, *concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w] = drive(client, *base, info, deadline, driveOpts{
+				n: *n, skew: *skew, seed: *seed + int64(w)*7919, foldin: *foldinFrac,
+			})
+		}()
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	codes := map[int]int{}
+	errors := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		for c, k := range r.codes {
+			codes[c] += k
+		}
+		errors += r.errors
+	}
+	if len(all) == 0 {
+		fail(fmt.Errorf("no requests completed"))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	total := len(all)
+	fmt.Printf("\nrequests: %d  transport errors: %d\n", total, errors)
+	keys := make([]int, 0, len(codes))
+	for c := range codes {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	for _, c := range keys {
+		fmt.Printf("  HTTP %d: %d\n", c, codes[c])
+	}
+	fmt.Printf("throughput: %.0f req/s\n", float64(total)/duration.Seconds())
+	fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99)), ms(all[len(all)-1]))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+type driveOpts struct {
+	n      int
+	skew   float64
+	seed   int64
+	foldin float64
+}
+
+func drive(client *http.Client, base string, info *modelInfo, deadline time.Time, o driveOpts) result {
+	users := dataset.NewZipfSampler(info.Users, o.skew, o.seed)
+	rng := rand.New(rand.NewSource(o.seed + 1))
+	res := result{codes: map[int]int{}}
+	for time.Now().Before(deadline) {
+		var (
+			resp *http.Response
+			err  error
+		)
+		start := time.Now()
+		if rng.Float64() < o.foldin {
+			resp, err = client.Post(base+"/v1/foldin", "application/json",
+				bytes.NewReader(foldinPayload(rng, info.Items, o.n)))
+		} else {
+			resp, err = client.Get(fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", base, users.Draw(), o.n))
+		}
+		if err != nil {
+			res.errors++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		res.latencies = append(res.latencies, time.Since(start))
+		res.codes[resp.StatusCode]++
+	}
+	return res
+}
+
+// foldinPayload fabricates a cold-start user: 5–25 distinct random items
+// with ratings in [1,5].
+func foldinPayload(rng *rand.Rand, items, n int) []byte {
+	count := 5 + rng.Intn(21)
+	if count > items {
+		count = items
+	}
+	seen := map[int32]bool{}
+	its := make([]int32, 0, count)
+	ratings := make([]float32, 0, count)
+	for len(its) < count {
+		it := int32(rng.Intn(items))
+		if seen[it] {
+			continue
+		}
+		seen[it] = true
+		its = append(its, it)
+		ratings = append(ratings, float32(1+rng.Intn(5)))
+	}
+	body, _ := json.Marshal(map[string]any{"items": its, "ratings": ratings, "n": n})
+	return body
+}
+
+func fetchModel(client *http.Client, base string) (*modelInfo, error) {
+	resp, err := client.Get(base + "/v1/model")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET /v1/model: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var info modelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}

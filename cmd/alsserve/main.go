@@ -1,0 +1,81 @@
+// alsserve serves top-N and fold-in recommendations from a model trained by
+// alstrain, with atomic hot-swap (POST /admin/swap) so retraining and
+// serving compose without downtime. Endpoints:
+//
+//	GET  /v1/recommend?user=U&n=N   top-N unrated items for a known user
+//	POST /v1/foldin                 fold a cold-start user's ratings in, top-N
+//	POST /admin/swap                load a new model file and swap atomically
+//	GET  /v1/model                  live model identity and dimensions
+//	GET  /metrics                   Prometheus metrics
+//	GET  /healthz                   liveness (503 until a model is loaded)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "model file written by alstrain -out (required)")
+	ratings := flag.String("ratings", "", "training rating file for rated-item exclusion (optional)")
+	oneBased := flag.Bool("one-based", true, "IDs in the rating file start at 1")
+	version := flag.String("version", "", "version label for the initial model (default: model meta, then v<seq>)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "scoring pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "max concurrent requests before shedding with 429")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
+	cacheSize := flag.Int("cache", 1024, "response cache entries (negative disables)")
+	maxN := flag.Int("max-n", 100, "largest accepted n per request")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alsserve:", err)
+		os.Exit(1)
+	}
+	if *modelPath == "" {
+		fail(fmt.Errorf("need -model"))
+	}
+
+	m, rated, err := serve.LoadSnapshotFiles(*modelPath, *ratings, *oneBased)
+	if err != nil {
+		fail(err)
+	}
+	srv := serve.New(serve.Config{
+		Workers: *workers, Queue: *queue, Timeout: *timeout,
+		CacheSize: *cacheSize, MaxN: *maxN,
+	})
+	defer srv.Close()
+	sn := srv.Swap(m, rated, *version)
+	fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d\n",
+		sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Printf("alsserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("alsserve: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 	auto := flag.Bool("auto-variant", false, "empirically select the fastest of the 8 variants first")
 	testFrac := flag.Float64("test-frac", 0.1, "held-out fraction for RMSE reporting (0 disables)")
 	out := flag.String("out", "", "write the trained model to this file")
+	version := flag.String("version", "", "version label stored in the model's metadata (shown by alsserve)")
 	weighted := flag.Bool("weighted-lambda", false, "use the ALS-WR convention lambda*|Omega|*I")
 	flag.Parse()
 
@@ -102,6 +103,9 @@ func main() {
 		fail(err)
 	}
 	model.UserIDs, model.ItemIDs = userIDs, itemIDs
+	if *version != "" {
+		model.Meta.Version = *version
+	}
 	kindLabel := "wall-clock"
 	if info.Simulated {
 		kindLabel = "simulated"

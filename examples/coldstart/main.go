@@ -2,17 +2,28 @@
 // retraining, FoldInUser solves the same per-row normal equations the ALS
 // X update uses (Eq. 4) against the frozen item factors — milliseconds
 // instead of a training run.
+//
+// Part two drives the same fold-in through the serving layer's HTTP
+// endpoint. By default an in-process server is started so the example works
+// offline; set ALS_SERVE_ADDR (e.g. "http://localhost:8080") to target a
+// running alsserve instead.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 )
 
@@ -78,4 +89,51 @@ func main() {
 		fmt.Printf("user %-5d: folded in %3d ratings in %4dµs; RMSE on %3d unseen ratings: %.3f\n",
 			a.u, half, foldMicros, len(cols)-half, rmse)
 	}
+
+	// Part two: the same fold-in through the serving layer's HTTP API.
+	base := os.Getenv("ALS_SERVE_ADDR")
+	if base == "" {
+		srv := serve.New(serve.Config{})
+		defer srv.Close()
+		srv.Swap(model, train.R, "coldstart-demo")
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("\nin-process server at %s (set ALS_SERVE_ADDR to target a running alsserve)\n", base)
+	} else {
+		fmt.Printf("\ntargeting external server at %s\n", base)
+	}
+
+	u := acts[0].u
+	cols, vals := mx.R.Row(u)
+	half := len(cols) / 2
+	payload, err := json.Marshal(map[string]any{
+		"items": cols[:half], "ratings": vals[:half], "n": 5, "lambda": lambda * float64(half),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/foldin", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST /v1/foldin: %s", resp.Status)
+	}
+	var rec struct {
+		Version string `json:"version"`
+		Items   []struct {
+			Item  int     `json:"item"`
+			Score float64 `json:"score"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served fold-in for user %d (model %s): top items", u, rec.Version)
+	for _, it := range rec.Items {
+		fmt.Printf("  %d (%.2f)", it.Item, it.Score)
+	}
+	fmt.Println()
 }

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"repro/internal/device"
@@ -106,6 +107,16 @@ type RunInfo struct {
 	History []host.IterStats
 }
 
+// Meta carries optional model provenance the serving layer relies on: a
+// version label for hot-swap bookkeeping and the training-time
+// regularization so fold-in requests can default to the matching λ
+// convention without the caller re-supplying it.
+type Meta struct {
+	Version        string  // free-form label ("" = unversioned)
+	Lambda         float32 // training λ (0 = unknown)
+	WeightedLambda bool    // true when trained with the ALS-WR λ|Ω|I convention
+}
+
 // Model is a trained factorization. When it was trained on a compact
 // (ID-remapped) dataset, UserIDs/ItemIDs carry the external IDs per dense
 // row so predictions can be reported in the original ID space; they are nil
@@ -116,6 +127,8 @@ type Model struct {
 
 	UserIDs []int64 // optional: external user ID per row of X
 	ItemIDs []int64 // optional: external item ID per row of Y
+
+	Meta Meta // optional provenance; persisted by Save when non-zero
 }
 
 // Predict estimates the rating of item i by user u (Eq. 1: x_u·y_iᵀ).
@@ -148,9 +161,19 @@ func (m *Model) FoldInUser(items []int32, ratings []float32, lambda float32) ([]
 	if len(items) == 0 {
 		return make([]float32, m.K), nil
 	}
-	for _, it := range items {
+	seen := make(map[int32]struct{}, len(items))
+	for j, it := range items {
 		if it < 0 || int(it) >= m.Y.Rows {
 			return nil, fmt.Errorf("core: item %d out of range [0,%d)", it, m.Y.Rows)
+		}
+		if _, dup := seen[it]; dup {
+			// A repeated item would be accumulated twice into the Gram
+			// matrix and the right-hand side, silently over-weighting it.
+			return nil, fmt.Errorf("core: duplicate item %d in fold-in ratings", it)
+		}
+		seen[it] = struct{}{}
+		if r := float64(ratings[j]); math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("core: rating for item %d is %g", it, r)
 		}
 	}
 	smat := linalg.NewDense(m.K, m.K)
@@ -220,7 +243,9 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		Platform: PlatformHost, Variant: variantName(cfg.Baseline, v),
 		Seconds: time.Since(start).Seconds(), History: res.History,
 	}
-	return &Model{K: cfg.K, X: res.X, Y: res.Y}, info, nil
+	mod := &Model{K: cfg.K, X: res.X, Y: res.Y,
+		Meta: Meta{Lambda: cfg.Lambda, WeightedLambda: cfg.WeightedLambda}}
+	return mod, info, nil
 }
 
 func trainSim(mx *sparse.Matrix, dev *device.Device, cfg Config) (*Model, *RunInfo, error) {
@@ -259,7 +284,8 @@ func trainSim(mx *sparse.Matrix, dev *device.Device, cfg Config) (*Model, *RunIn
 	for i := 0; i < 3; i++ {
 		info.StageSeconds[i] = dev.Seconds(res.Report.StageCycles[i])
 	}
-	return &Model{K: cfg.K, X: res.X, Y: res.Y}, info, nil
+	mod := &Model{K: cfg.K, X: res.X, Y: res.Y, Meta: Meta{Lambda: cfg.Lambda}}
+	return mod, info, nil
 }
 
 func variantName(baseline bool, v variant.Options) string {
@@ -338,11 +364,21 @@ func FeaturesOf(mx *sparse.Matrix, platform string, k int) variant.Features {
 
 const modelMagic = uint32(0x414C5332) // "ALS2"
 
-const flagHasIDMaps = uint64(1)
+const (
+	flagHasIDMaps = uint64(1)
+	flagHasMeta   = uint64(2)
+)
+
+// maxVersionLen bounds the stored version label so a corrupt header cannot
+// demand an absurd allocation at load time.
+const maxVersionLen = 1 << 10
 
 // Save writes the model in a compact little-endian binary format:
 // header (magic, k, m, n, flags), X, Y, then — when present — the external
-// user and item ID tables.
+// user and item ID tables, then — when present — the meta section
+// (length-prefixed version label, training λ, λ convention). Sections are
+// flagged so old files load unchanged and old readers reject new sections
+// they cannot skip.
 func (m *Model) Save(w io.Writer) error {
 	if (m.UserIDs == nil) != (m.ItemIDs == nil) {
 		return fmt.Errorf("core: model has only one of UserIDs/ItemIDs")
@@ -351,9 +387,15 @@ func (m *Model) Save(w io.Writer) error {
 		return fmt.Errorf("core: ID table lengths (%d,%d) do not match factors (%d,%d)",
 			len(m.UserIDs), len(m.ItemIDs), m.X.Rows, m.Y.Rows)
 	}
+	if len(m.Meta.Version) > maxVersionLen {
+		return fmt.Errorf("core: version label longer than %d bytes", maxVersionLen)
+	}
 	var flags uint64
 	if m.UserIDs != nil {
 		flags |= flagHasIDMaps
+	}
+	if m.Meta != (Meta{}) {
+		flags |= flagHasMeta
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	hdr := []uint64{uint64(modelMagic), uint64(m.K), uint64(m.X.Rows), uint64(m.Y.Rows), flags}
@@ -373,6 +415,24 @@ func (m *Model) Save(w io.Writer) error {
 			return err
 		}
 		if err := binary.Write(bw, binary.LittleEndian, m.ItemIDs); err != nil {
+			return err
+		}
+	}
+	if flags&flagHasMeta != 0 {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(m.Meta.Version))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(m.Meta.Version); err != nil {
+			return err
+		}
+		var weighted uint8
+		if m.Meta.WeightedLambda {
+			weighted = 1
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m.Meta.Lambda); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, weighted); err != nil {
 			return err
 		}
 	}
@@ -417,6 +477,28 @@ func LoadModel(r io.Reader) (*Model, error) {
 		if err := binary.Read(br, binary.LittleEndian, &mod.ItemIDs); err != nil {
 			return nil, fmt.Errorf("core: reading item IDs: %w", err)
 		}
+	}
+	if flags&flagHasMeta != 0 {
+		var vlen uint64
+		if err := binary.Read(br, binary.LittleEndian, &vlen); err != nil {
+			return nil, fmt.Errorf("core: reading meta: %w", err)
+		}
+		if vlen > maxVersionLen {
+			return nil, fmt.Errorf("core: implausible version length %d", vlen)
+		}
+		vbuf := make([]byte, vlen)
+		if _, err := io.ReadFull(br, vbuf); err != nil {
+			return nil, fmt.Errorf("core: reading version label: %w", err)
+		}
+		mod.Meta.Version = string(vbuf)
+		var weighted uint8
+		if err := binary.Read(br, binary.LittleEndian, &mod.Meta.Lambda); err != nil {
+			return nil, fmt.Errorf("core: reading meta lambda: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &weighted); err != nil {
+			return nil, fmt.Errorf("core: reading meta flags: %w", err)
+		}
+		mod.Meta.WeightedLambda = weighted != 0
 	}
 	return mod, nil
 }

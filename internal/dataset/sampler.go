@@ -1,0 +1,24 @@
+package dataset
+
+import "math/rand"
+
+// ZipfSampler draws indices in [0,n) with the same truncated-Zipf
+// popularity profile the synthetic generator uses for user/item degrees,
+// via the alias method (O(1) per draw). The serving load generator uses it
+// so request traffic has the datasets' hallmark skew: a few hot users, a
+// long cold tail. Not safe for concurrent use — give each worker its own.
+type ZipfSampler struct {
+	rng   *rand.Rand
+	table *alias
+}
+
+// NewZipfSampler builds a sampler over n indices with Zipf exponent skew
+// (larger = heavier head); skew 0 is uniform.
+func NewZipfSampler(n int, skew float64, seed int64) *ZipfSampler {
+	rng := rand.New(rand.NewSource(seed))
+	w := zipfWeights(rng, n, skew)
+	return &ZipfSampler{rng: rng, table: newAlias(w, rng)}
+}
+
+// Draw returns the next sampled index.
+func (s *ZipfSampler) Draw() int { return s.table.draw(s.rng) }

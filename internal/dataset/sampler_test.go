@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestZipfSamplerDeterministicAndInRange(t *testing.T) {
+	a := NewZipfSampler(100, 0.9, 7)
+	b := NewZipfSampler(100, 0.9, 7)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Draw(), b.Draw()
+		if va != vb {
+			t.Fatalf("draw %d: %d != %d with same seed", i, va, vb)
+		}
+		if va < 0 || va >= 100 {
+			t.Fatalf("draw %d out of range: %d", i, va)
+		}
+	}
+}
+
+// TestZipfSamplerSkew: with a heavy exponent the hottest few indices must
+// take a far larger traffic share than uniform sampling would give them.
+func TestZipfSamplerSkew(t *testing.T) {
+	const n, draws = 1000, 50000
+	s := NewZipfSampler(n, 0.9, 3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Draw()]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top10 := 0
+	for _, c := range counts[:10] {
+		top10 += c
+	}
+	// Uniform would give the top 10 of 1000 indices ~1% of traffic; Zipf
+	// s=0.9 concentrates far more than that.
+	if share := float64(top10) / draws; share < 0.05 {
+		t.Fatalf("top-10 share = %.3f, want the power-law head", share)
+	}
+}

@@ -98,9 +98,9 @@ func RegularizedLoss(r *sparse.CSR, x, y *linalg.Dense, lambda float64, weighted
 
 // TopN returns the indices of the n highest-scoring unrated items for user
 // u, scored by x_u·y_i. Items already rated in r are excluded. Ties are
-// broken by lower index for determinism. A bounded min-heap keeps the
-// selection O(items·log n) instead of sorting every candidate — n is tens
-// while catalogs are hundreds of thousands.
+// broken by lower index for determinism. A bounded min-heap (TopK) keeps
+// the selection O(items·log n) instead of sorting every candidate — n is
+// tens while catalogs are hundreds of thousands.
 func TopN(r *sparse.CSR, x, y *linalg.Dense, u, n int) []int {
 	rated := make(map[int]bool)
 	cols, _ := r.Row(u)
@@ -108,65 +108,49 @@ func TopN(r *sparse.CSR, x, y *linalg.Dense, u, n int) []int {
 		rated[int(c)] = true
 	}
 	xu := x.Row(u)
-
-	// h is a min-heap on (score, then inverted index) so the weakest of the
-	// current top n sits at the root.
-	type scored struct {
-		item  int
-		score float64
-	}
-	h := make([]scored, 0, n)
-	less := func(a, b scored) bool { // a weaker than b
-		if a.score != b.score {
-			return a.score < b.score
-		}
-		return a.item > b.item
-	}
-	siftDown := func(i int) {
-		for {
-			l, rgt := 2*i+1, 2*i+2
-			min := i
-			if l < len(h) && less(h[l], h[min]) {
-				min = l
-			}
-			if rgt < len(h) && less(h[rgt], h[min]) {
-				min = rgt
-			}
-			if min == i {
-				return
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-	}
+	t := NewTopK(n)
 	for i := 0; i < y.Rows; i++ {
 		if rated[i] {
 			continue
 		}
-		s := scored{i, linalg.Dot(xu, y.Row(i))}
-		if len(h) < n {
-			h = append(h, s)
-			// sift up
-			for c := len(h) - 1; c > 0; {
-				p := (c - 1) / 2
-				if !less(h[c], h[p]) {
-					break
-				}
-				h[c], h[p] = h[p], h[c]
-				c = p
-			}
+		t.Push(i, linalg.Dot(xu, y.Row(i)))
+	}
+	scored := t.Drain()
+	out := make([]int, len(scored))
+	for i, s := range scored {
+		out[i] = s.Item
+	}
+	return out
+}
+
+// TopNSort is the full-scan reference selection: it scores every candidate,
+// sorts the whole catalog, and takes the first n. O(items·log items) — kept
+// as the differential-test oracle and the benchmark baseline the heap
+// (TopN) and the sharded serving scorer are measured against.
+func TopNSort(r *sparse.CSR, x, y *linalg.Dense, u, n int) []int {
+	rated := make(map[int]bool)
+	cols, _ := r.Row(u)
+	for _, c := range cols {
+		rated[int(c)] = true
+	}
+	xu := x.Row(u)
+	all := make([]Scored, 0, y.Rows)
+	for i := 0; i < y.Rows; i++ {
+		if rated[i] {
 			continue
 		}
-		if n > 0 && less(h[0], s) {
-			h[0] = s
-			siftDown(0)
-		}
+		all = append(all, Scored{Item: i, Score: linalg.Dot(xu, y.Row(i))})
 	}
-	// Drain: sort the survivors strongest-first.
-	sort.Slice(h, func(a, b int) bool { return less(h[b], h[a]) })
-	out := make([]int, len(h))
-	for i, s := range h {
-		out[i] = s.item
+	sort.Slice(all, func(a, b int) bool { return weaker(all[b], all[a]) })
+	if n < 0 {
+		n = 0
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].Item
 	}
 	return out
 }

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func ck(version string, user int) cacheKey {
+	return cacheKey{version: version, seq: 1, user: user, n: 10}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	v := []metrics.Scored{{Item: 1, Score: 2}}
+	c.Put(ck("a", 1), v)
+	c.Put(ck("a", 2), v)
+	if _, ok := c.Get(ck("a", 1)); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	// user 2 is now least recently used; inserting user 3 evicts it.
+	c.Put(ck("a", 3), v)
+	if _, ok := c.Get(ck("a", 2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(ck("a", 1)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses", hits, misses)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(8)
+	c.Put(ck("a", 1), nil)
+	c.Put(ck("a", 2), nil)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get(ck("a", 1)); ok {
+		t.Fatal("purged entry still served")
+	}
+}
+
+func TestCacheVersionIsolation(t *testing.T) {
+	c := NewCache(8)
+	c.Put(cacheKey{version: "a", seq: 1, user: 1, n: 10}, []metrics.Scored{{Item: 7}})
+	if _, ok := c.Get(cacheKey{version: "b", seq: 2, user: 1, n: 10}); ok {
+		t.Fatal("entry leaked across versions")
+	}
+	if _, ok := c.Get(cacheKey{version: "a", seq: 1, user: 1, n: 5}); ok {
+		t.Fatal("entry leaked across n")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put(ck("a", 1), nil)
+	if _, ok := c.Get(ck("a", 1)); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+	c.Purge() // must not panic
+	if c.Len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}

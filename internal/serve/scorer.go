@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+)
+
+// checkEvery is how many rows a shard scores between context checks, so an
+// expired deadline aborts a scan over a huge catalog promptly.
+const checkEvery = 4096
+
+// minShardRows keeps small catalogs on few workers: below this many rows
+// per shard the merge and handoff overhead outweighs the parallelism.
+const minShardRows = 256
+
+// Scorer ranks an item catalog against a user factor with a bounded worker
+// pool shared by all requests: Y is partitioned into contiguous shards, each
+// shard keeps its own size-n min-heap (metrics.TopK), and the per-shard
+// heaps are merged. The pool bound — not the request count — caps scoring
+// concurrency, so a traffic spike degrades latency instead of oversubscribing
+// the machine the training loops also run on.
+type Scorer struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+}
+
+// NewScorer starts a pool of workers goroutines (GOMAXPROCS when <= 0).
+func NewScorer(workers int) *Scorer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scorer{workers: workers, tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for f := range s.tasks {
+				f()
+			}
+		}()
+	}
+	return s
+}
+
+// Workers returns the pool size.
+func (s *Scorer) Workers() int { return s.workers }
+
+// Close stops the pool after in-flight shards finish. TopN must not be
+// called after Close.
+func (s *Scorer) Close() {
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+// TopN returns the n strongest items of y under x·y_i, strongest first,
+// skipping items for which excluded returns true (nil excludes nothing).
+// It honors ctx: an expired deadline aborts both shard submission and
+// in-shard scanning and returns ctx.Err().
+func (s *Scorer) TopN(ctx context.Context, x []float32, y *linalg.Dense, excluded func(int) bool, n int) ([]metrics.Scored, error) {
+	if n <= 0 || y == nil || y.Rows == 0 {
+		return nil, nil
+	}
+	shards := s.workers
+	if max := (y.Rows + minShardRows - 1) / minShardRows; shards > max {
+		shards = max
+	}
+	per := (y.Rows + shards - 1) / shards
+
+	heaps := make([]*metrics.TopK, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	var submitErr error
+	for si := 0; si < shards; si++ {
+		si := si
+		lo := si * per
+		hi := lo + per
+		if hi > y.Rows {
+			hi = y.Rows
+		}
+		job := func() {
+			defer wg.Done()
+			t := metrics.NewTopK(n)
+			for i := lo; i < hi; i++ {
+				if (i-lo)%checkEvery == 0 {
+					select {
+					case <-ctx.Done():
+						errs[si] = ctx.Err()
+						return
+					default:
+					}
+				}
+				if excluded != nil && excluded(i) {
+					continue
+				}
+				t.Push(i, linalg.Dot(x, y.Row(i)))
+			}
+			heaps[si] = t
+		}
+		wg.Add(1)
+		select {
+		case s.tasks <- job:
+		case <-ctx.Done():
+			wg.Done()
+			submitErr = ctx.Err()
+		}
+		if submitErr != nil {
+			break
+		}
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := metrics.NewTopK(n)
+	for _, h := range heaps {
+		merged.Merge(h)
+	}
+	return merged.Drain(), nil
+}
+
+// RatedExcluder returns an exclusion predicate over the sorted column
+// indices of user u's rated row, or nil when there is nothing to exclude.
+// Binary search over the CSR row avoids building a per-request map.
+func RatedExcluder(r *sparse.CSR, u int) func(int) bool {
+	if r == nil || u < 0 || u >= r.NumRows {
+		return nil
+	}
+	cols, _ := r.Row(u)
+	if len(cols) == 0 {
+		return nil
+	}
+	return func(i int) bool {
+		lo, hi := 0, len(cols)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(cols[mid]) < i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(cols) && int(cols[lo]) == i
+	}
+}

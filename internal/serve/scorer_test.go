@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+)
+
+func randomDense(rng *rand.Rand, rows, cols int) *linalg.Dense {
+	d := linalg.NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.Float32()*2 - 1
+	}
+	return d
+}
+
+func randomRated(rng *rand.Rand, users, items, perUser int) *sparse.CSR {
+	coo := sparse.NewCOO(users, items)
+	for u := 0; u < users; u++ {
+		for j := 0; j < perUser; j++ {
+			coo.Append(u, rng.Intn(items), 4)
+		}
+	}
+	coo.Dedup(sparse.DedupKeepLast)
+	coo.Rows, coo.Cols = users, items
+	m, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestScorerMatchesTopN: the sharded scorer must select exactly what the
+// single-threaded heap and the full-sort oracle select, for any worker
+// count, n, and exclusion set.
+func TestScorerMatchesTopN(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const users, items, k = 4, 3000, 8
+	x := randomDense(rng, users, k)
+	y := randomDense(rng, items, k)
+	rated := randomRated(rng, users, items, 40)
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		sc := NewScorer(workers)
+		for _, n := range []int{1, 7, 50, items + 10} {
+			for u := 0; u < users; u++ {
+				scored, err := sc.TopN(context.Background(), x.Row(u), y, RatedExcluder(rated, u), n)
+				if err != nil {
+					t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+				}
+				got := make([]int, len(scored))
+				for i, s := range scored {
+					got[i] = s.Item
+				}
+				want := metrics.TopN(rated, x, y, u, n)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d n=%d u=%d: sharded %v != heap %v", workers, n, u, got, want)
+				}
+				wantSort := metrics.TopNSort(rated, x, y, u, n)
+				if !reflect.DeepEqual(want, wantSort) {
+					t.Fatalf("n=%d u=%d: heap %v != full sort %v", n, u, want, wantSort)
+				}
+			}
+		}
+		sc.Close()
+	}
+}
+
+func TestScorerCanceledContext(t *testing.T) {
+	sc := NewScorer(2)
+	defer sc.Close()
+	rng := rand.New(rand.NewSource(1))
+	y := randomDense(rng, 5000, 4)
+	x := []float32{1, 0, 0, 0}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sc.TopN(ctx, x, y, nil, 10); err == nil {
+		t.Fatal("canceled context did not abort scoring")
+	}
+}
+
+func TestScorerDegenerate(t *testing.T) {
+	sc := NewScorer(0) // default pool
+	defer sc.Close()
+	if sc.Workers() < 1 {
+		t.Fatalf("default workers = %d", sc.Workers())
+	}
+	y := linalg.NewDense(0, 4)
+	if out, err := sc.TopN(context.Background(), []float32{1, 0, 0, 0}, y, nil, 5); err != nil || out != nil {
+		t.Fatalf("empty catalog: %v %v", out, err)
+	}
+	y = linalg.NewDense(3, 4)
+	if out, err := sc.TopN(context.Background(), []float32{1, 0, 0, 0}, y, nil, 0); err != nil || out != nil {
+		t.Fatalf("n=0: %v %v", out, err)
+	}
+}
+
+func TestRatedExcluder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rated := randomRated(rng, 3, 200, 30)
+	for u := 0; u < 3; u++ {
+		ex := RatedExcluder(rated, u)
+		cols, _ := rated.Row(u)
+		set := map[int]bool{}
+		for _, c := range cols {
+			set[int(c)] = true
+		}
+		for i := 0; i < 200; i++ {
+			if ex(i) != set[i] {
+				t.Fatalf("u=%d item=%d: excluder %v, want %v", u, i, ex(i), set[i])
+			}
+		}
+	}
+	if RatedExcluder(nil, 0) != nil {
+		t.Fatal("nil matrix should yield nil excluder")
+	}
+	if RatedExcluder(rated, 99) != nil {
+		t.Fatal("out-of-range user should yield nil excluder")
+	}
+}

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+)
+
+// Config sizes the server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the scoring pool size (default GOMAXPROCS).
+	Workers int
+	// Queue caps concurrently admitted requests; arrivals beyond it are
+	// shed with 429 instead of queueing unboundedly (default 64).
+	Queue int
+	// Timeout is the per-request deadline (default 2s).
+	Timeout time.Duration
+	// CacheSize is the response-cache capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// MaxN caps the per-request recommendation count (default 100).
+	MaxN int
+	// MaxFoldInItems caps the ratings accepted by one fold-in request
+	// (default 10000).
+	MaxFoldInItems int
+	// Lambda is the fold-in regularization used when neither the request
+	// nor the model's Meta supplies one (default 0.1).
+	Lambda float32
+}
+
+func (c *Config) setDefaults() {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 100
+	}
+	if c.MaxFoldInItems <= 0 {
+		c.MaxFoldInItems = 10000
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.1
+	}
+}
+
+// Server serves top-N and fold-in recommendations over HTTP from the
+// current Snapshot. Create with New, install a model with Swap (or the
+// /admin/swap endpoint), mount Handler, and Close when done.
+type Server struct {
+	cfg    Config
+	store  Store
+	cache  *Cache
+	scorer *Scorer
+	tel    *Telemetry
+	sem    chan struct{}
+	mux    *http.ServeMux
+}
+
+// New builds a server; it serves 503 until the first Swap installs a model.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheSize),
+		scorer: NewScorer(cfg.Workers),
+		tel:    NewTelemetry(),
+		sem:    make(chan struct{}, cfg.Queue),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/model", s.instrument("model", s.handleModel))
+	mux.HandleFunc("GET /v1/recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("POST /v1/foldin", s.instrument("foldin", s.handleFoldIn))
+	mux.HandleFunc("POST /admin/swap", s.instrument("swap", s.handleSwap))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Telemetry exposes the metric registry (for embedding hosts).
+func (s *Server) Telemetry() *Telemetry { return s.tel }
+
+// Current returns the live snapshot, or nil before the first Swap.
+func (s *Server) Current() *Snapshot { return s.store.Current() }
+
+// Swap atomically installs a new model and purges the response cache; see
+// Store.Swap for version defaulting.
+func (s *Server) Swap(m *core.Model, rated *sparse.CSR, version string) *Snapshot {
+	sn := s.store.Swap(m, rated, version)
+	s.cache.Purge()
+	s.tel.SwapRecorded()
+	return sn
+}
+
+// Close releases the scoring pool. In-flight requests must have drained
+// (http.Server.Shutdown) before calling it.
+func (s *Server) Close() { s.scorer.Close() }
+
+// instrument wraps a handler with admission control (bounded queue, 429 on
+// saturation), the per-request deadline, the in-flight gauge and the
+// latency histogram.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.tel.Shed()
+			s.tel.Observe(endpoint, http.StatusTooManyRequests, 0)
+			httpError(w, http.StatusTooManyRequests, "server saturated, retry later")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.tel.IncInflight()
+		defer s.tel.DecInflight()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.tel.Observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// scoreError maps a scorer/context failure to an HTTP status.
+func scoreError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded while scoring")
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, err.Error())
+}
+
+// RecItem is one recommended item in a response.
+type RecItem struct {
+	Item  int     `json:"item"`         // dense index into Y
+	ID    int64   `json:"id,omitempty"` // external item ID for compact models
+	Score float64 `json:"score"`
+}
+
+func recItems(m *core.Model, scored []metrics.Scored) []RecItem {
+	out := make([]RecItem, len(scored))
+	for i, s := range scored {
+		out[i] = RecItem{Item: s.Item, Score: s.Score}
+		if m.ItemIDs != nil {
+			out[i].ID = m.ItemLabel(s.Item)
+		}
+	}
+	return out
+}
+
+// RecommendResponse answers /v1/recommend.
+type RecommendResponse struct {
+	Version string    `json:"version"`
+	Seq     uint64    `json:"seq"`
+	User    int64     `json:"user"`
+	Items   []RecItem `json:"items"`
+	Cached  bool      `json:"cached"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	sn := s.store.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	q := r.URL.Query()
+	orig, err := strconv.ParseInt(q.Get("user"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "user must be an integer")
+		return
+	}
+	n := 10
+	if v := q.Get("n"); v != "" {
+		n, err = strconv.Atoi(v)
+		if err != nil || n <= 0 || n > s.cfg.MaxN {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be in [1,%d]", s.cfg.MaxN))
+			return
+		}
+	}
+	// Compact models address users by external ID, dense models by row.
+	u, ok := sn.UserIndex(orig)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("user %d not in the model", orig))
+		return
+	}
+
+	key := cacheKey{version: sn.Version, seq: sn.Seq, user: u, n: n}
+	if items, ok := s.cache.Get(key); ok {
+		writeJSON(w, RecommendResponse{Version: sn.Version, Seq: sn.Seq, User: orig,
+			Items: recItems(sn.Model, items), Cached: true})
+		return
+	}
+	scored, err := s.scorer.TopN(r.Context(), sn.Model.X.Row(u), sn.Model.Y,
+		RatedExcluder(sn.Rated, u), n)
+	if err != nil {
+		scoreError(w, err)
+		return
+	}
+	s.cache.Put(key, scored)
+	writeJSON(w, RecommendResponse{Version: sn.Version, Seq: sn.Seq, User: orig,
+		Items: recItems(sn.Model, scored)})
+}
+
+// FoldInRequest is the /v1/foldin payload: the cold-start user's observed
+// ratings in the model's dense item index space.
+type FoldInRequest struct {
+	Items   []int32   `json:"items"`
+	Ratings []float32 `json:"ratings"`
+	N       int       `json:"n"`
+	// Lambda overrides the fold-in regularization; 0 uses the model's
+	// training λ (scaled by |Ω| under the weighted convention), falling
+	// back to the server default.
+	Lambda float32 `json:"lambda"`
+}
+
+// FoldInResponse answers /v1/foldin.
+type FoldInResponse struct {
+	Version string    `json:"version"`
+	Seq     uint64    `json:"seq"`
+	Items   []RecItem `json:"items"`
+}
+
+// foldInLambda resolves the effective regularization for a fold-in request.
+func (s *Server) foldInLambda(m *core.Model, req *FoldInRequest) float32 {
+	if req.Lambda > 0 {
+		return req.Lambda
+	}
+	if m.Meta.Lambda > 0 {
+		if m.Meta.WeightedLambda {
+			return m.Meta.Lambda * float32(len(req.Items))
+		}
+		return m.Meta.Lambda
+	}
+	return s.cfg.Lambda
+}
+
+func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
+	sn := s.store.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	var req FoldInRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one rating")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxFoldInItems {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("at most %d ratings per request", s.cfg.MaxFoldInItems))
+		return
+	}
+	if req.N <= 0 {
+		req.N = 10
+	}
+	if req.N > s.cfg.MaxN {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be in [1,%d]", s.cfg.MaxN))
+		return
+	}
+	xu, err := sn.Model.FoldInUser(req.Items, req.Ratings, s.foldInLambda(sn.Model, &req))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The folded-in user's own items are their rated set: exclude them.
+	rated := make(map[int]bool, len(req.Items))
+	for _, it := range req.Items {
+		rated[int(it)] = true
+	}
+	scored, err := s.scorer.TopN(r.Context(), xu, sn.Model.Y,
+		func(i int) bool { return rated[i] }, req.N)
+	if err != nil {
+		scoreError(w, err)
+		return
+	}
+	writeJSON(w, FoldInResponse{Version: sn.Version, Seq: sn.Seq, Items: recItems(sn.Model, scored)})
+}
+
+// SwapRequest is the /admin/swap payload: file paths on the server host, as
+// written by alstrain -out.
+type SwapRequest struct {
+	Model    string `json:"model"`
+	Ratings  string `json:"ratings"`
+	OneBased *bool  `json:"one_based"` // default true
+	Version  string `json:"version"`
+}
+
+// SwapResponse reports the installed snapshot.
+type SwapResponse struct {
+	Version string `json:"version"`
+	Seq     uint64 `json:"seq"`
+	Users   int    `json:"users"`
+	Items   int    `json:"items"`
+	K       int    `json:"k"`
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, "need model path")
+		return
+	}
+	oneBased := true
+	if req.OneBased != nil {
+		oneBased = *req.OneBased
+	}
+	m, rated, err := LoadSnapshotFiles(req.Model, req.Ratings, oneBased)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sn := s.Swap(m, rated, req.Version)
+	writeJSON(w, SwapResponse{Version: sn.Version, Seq: sn.Seq,
+		Users: m.X.Rows, Items: m.Y.Rows, K: m.K})
+}
+
+// ModelResponse answers /v1/model (load generators use it for discovery).
+type ModelResponse struct {
+	Version  string `json:"version"`
+	Seq      uint64 `json:"seq"`
+	Users    int    `json:"users"`
+	Items    int    `json:"items"`
+	K        int    `json:"k"`
+	Compact  bool   `json:"compact"` // users addressed by external IDs
+	RatedSet bool   `json:"rated_set"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	sn := s.store.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, ModelResponse{Version: sn.Version, Seq: sn.Seq,
+		Users: sn.Model.X.Rows, Items: sn.Model.Y.Rows, K: sn.Model.K,
+		Compact: sn.Model.UserIDs != nil, RatedSet: sn.Rated != nil})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.store.Current() == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.tel.WriteMetrics(w, s.store.Current(), s.cache)
+}

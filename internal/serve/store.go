@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// Snapshot is one immutable serving state: a model, the optional training
+// matrix used to exclude already-rated items, and its version identity.
+// Handlers load a Snapshot once per request, so a concurrent swap can never
+// mix factors from one model with the version or rated-set of another.
+type Snapshot struct {
+	Model *core.Model
+	Rated *sparse.CSR // optional; nil serves without rated-item exclusion
+	// Version labels the model for cache keys and responses; Seq increases
+	// by one per swap and breaks ties between reused labels.
+	Version string
+	Seq     uint64
+
+	// userIdx maps external user IDs to dense rows for compact models;
+	// built once per swap so request-path lookups are O(1) instead of the
+	// O(m) scan core.Model.UserIndex does.
+	userIdx map[int64]int
+}
+
+// UserIndex resolves an external user ID to the model's dense row.
+func (sn *Snapshot) UserIndex(orig int64) (int, bool) {
+	if sn.userIdx != nil {
+		u, ok := sn.userIdx[orig]
+		return u, ok
+	}
+	return sn.Model.UserIndex(orig)
+}
+
+// Store publishes the current Snapshot through an atomic pointer: readers
+// never block, writers swap in O(1), and an in-flight request keeps its
+// snapshot alive until it finishes.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+	seq atomic.Uint64
+}
+
+// Current returns the live snapshot, or nil before the first Swap.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Swap atomically installs a new model. An empty version falls back to the
+// model's own Meta.Version, then to "v<seq>".
+func (s *Store) Swap(m *core.Model, rated *sparse.CSR, version string) *Snapshot {
+	seq := s.seq.Add(1)
+	if version == "" {
+		version = m.Meta.Version
+	}
+	if version == "" {
+		version = fmt.Sprintf("v%d", seq)
+	}
+	sn := &Snapshot{Model: m, Rated: rated, Version: version, Seq: seq}
+	if m.UserIDs != nil {
+		sn.userIdx = make(map[int64]int, len(m.UserIDs))
+		for i, id := range m.UserIDs {
+			sn.userIdx[id] = i
+		}
+	}
+	s.cur.Store(sn)
+	return sn
+}
+
+// LoadSnapshotFiles reads a model written by alstrain -out and, when
+// ratingsPath is non-empty, the rating file it was trained on (aligned to
+// the model's ID space for compact models) for rated-item exclusion.
+func LoadSnapshotFiles(modelPath, ratingsPath string, oneBased bool) (*core.Model, *sparse.CSR, error) {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %s: %w", modelPath, err)
+	}
+	if ratingsPath == "" {
+		return m, nil, nil
+	}
+	mx, err := core.AlignRatings(m, ratingsPath, oneBased)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, mx.R, nil
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the request-latency histogram upper bounds in seconds,
+// spaced for sub-millisecond scoring up to multi-second stragglers.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+// Telemetry aggregates the serving metrics exported at /metrics in the
+// Prometheus text format: per-endpoint/status request counters, a global
+// latency histogram, an in-flight gauge, shed and swap counters.
+type Telemetry struct {
+	mu       sync.Mutex
+	requests map[requestKey]uint64
+	buckets  []uint64 // len(latencyBuckets)+1; last is +Inf
+	sum      float64
+	count    uint64
+
+	inflight atomic.Int64
+	shed     atomic.Uint64
+	swaps    atomic.Uint64
+}
+
+// NewTelemetry returns an empty registry.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		requests: make(map[requestKey]uint64),
+		buckets:  make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+// Observe records one finished request.
+func (t *Telemetry) Observe(endpoint string, code int, d time.Duration) {
+	secs := d.Seconds()
+	idx := sort.SearchFloat64s(latencyBuckets, secs)
+	t.mu.Lock()
+	t.requests[requestKey{endpoint, code}]++
+	t.buckets[idx]++
+	t.sum += secs
+	t.count++
+	t.mu.Unlock()
+}
+
+// IncInflight/DecInflight track requests currently inside handlers.
+func (t *Telemetry) IncInflight() { t.inflight.Add(1) }
+func (t *Telemetry) DecInflight() { t.inflight.Add(-1) }
+
+// Shed counts a request rejected by the admission queue (429).
+func (t *Telemetry) Shed() { t.shed.Add(1) }
+
+// SwapRecorded counts a model hot-swap.
+func (t *Telemetry) SwapRecorded() { t.swaps.Add(1) }
+
+// WriteMetrics renders the Prometheus exposition text. The live snapshot
+// and cache are passed in so model identity and hit rates come from the
+// source of truth at scrape time.
+func (t *Telemetry) WriteMetrics(w io.Writer, sn *Snapshot, cache *Cache) {
+	t.mu.Lock()
+	keys := make([]requestKey, 0, len(t.requests))
+	for k := range t.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = t.requests[k]
+	}
+	buckets := append([]uint64(nil), t.buckets...)
+	sum, count := t.sum, t.count
+	t.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP als_requests_total Finished requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE als_requests_total counter")
+	for i, k := range keys {
+		fmt.Fprintf(w, "als_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[i])
+	}
+
+	fmt.Fprintln(w, "# HELP als_request_seconds Request latency.")
+	fmt.Fprintln(w, "# TYPE als_request_seconds histogram")
+	var cum uint64
+	for i, le := range latencyBuckets {
+		cum += buckets[i]
+		fmt.Fprintf(w, "als_request_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	fmt.Fprintf(w, "als_request_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "als_request_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "als_request_seconds_count %d\n", count)
+
+	fmt.Fprintln(w, "# HELP als_inflight_requests Requests currently being handled.")
+	fmt.Fprintln(w, "# TYPE als_inflight_requests gauge")
+	fmt.Fprintf(w, "als_inflight_requests %d\n", t.inflight.Load())
+
+	fmt.Fprintln(w, "# HELP als_shed_total Requests rejected with 429 by the admission queue.")
+	fmt.Fprintln(w, "# TYPE als_shed_total counter")
+	fmt.Fprintf(w, "als_shed_total %d\n", t.shed.Load())
+
+	fmt.Fprintln(w, "# HELP als_model_swaps_total Model hot-swaps since start.")
+	fmt.Fprintln(w, "# TYPE als_model_swaps_total counter")
+	fmt.Fprintf(w, "als_model_swaps_total %d\n", t.swaps.Load())
+
+	if cache != nil {
+		hits, misses := cache.Stats()
+		fmt.Fprintln(w, "# HELP als_cache_hits_total Response cache hits.")
+		fmt.Fprintln(w, "# TYPE als_cache_hits_total counter")
+		fmt.Fprintf(w, "als_cache_hits_total %d\n", hits)
+		fmt.Fprintln(w, "# HELP als_cache_misses_total Response cache misses.")
+		fmt.Fprintln(w, "# TYPE als_cache_misses_total counter")
+		fmt.Fprintf(w, "als_cache_misses_total %d\n", misses)
+		fmt.Fprintln(w, "# HELP als_cache_entries Response cache occupancy.")
+		fmt.Fprintln(w, "# TYPE als_cache_entries gauge")
+		fmt.Fprintf(w, "als_cache_entries %d\n", cache.Len())
+	}
+
+	if sn != nil {
+		fmt.Fprintln(w, "# HELP als_model_info Live model identity (value is always 1).")
+		fmt.Fprintln(w, "# TYPE als_model_info gauge")
+		fmt.Fprintf(w, "als_model_info{version=%q,seq=\"%d\"} 1\n", sn.Version, sn.Seq)
+	}
+}
