@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench ci experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture ci experiments examples kernels serve clean
 
 all: build test
 
@@ -16,8 +16,9 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The full gate: formatting, static checks, build, and the race-enabled
-# short test suite (includes the serving layer's hot-swap stress test).
+# The full gate: formatting, static checks, build, the race-enabled short
+# test suite (includes the serving layer's hot-swap stress test), and a
+# one-shot bench smoke so benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -26,9 +27,16 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -short ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Capture the host variant-space wall-clock record (the tracked trajectory:
+# BENCH_<n>.json, one file per optimization PR; see README "Performance").
+BENCH_OUT ?= BENCH_2.json
+bench-capture:
+	$(GO) run ./cmd/alsbench -capture $(BENCH_OUT) -capture-scale 0.01
 
 # Reproduce every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

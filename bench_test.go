@@ -88,10 +88,17 @@ func BenchmarkFig3RegisterKernel(b *testing.B) {
 	for i := range cols {
 		cols[i] = int32(rng.Intn(n))
 	}
+	vals := make([]float32, omega)
+	for i := range vals {
+		vals[i] = rng.Float32() * 5
+	}
 	smat := make([]float32, k*k)
+	gsum := make([]float32, k*k)
+	packed := make([]float32, linalg.PackedLen(k))
+	svec := make([]float32, k)
 	b.Run("scatter", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			linalg.GramScatter(y, k, cols, smat)
+			linalg.GramScatter(y, k, cols, smat, gsum)
 		}
 	})
 	b.Run("register", func(b *testing.B) {
@@ -102,6 +109,17 @@ func BenchmarkFig3RegisterKernel(b *testing.B) {
 	b.Run("unrolled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			linalg.GramUnrolled(y, k, cols, smat)
+		}
+	})
+	// The fused forms also produce the S2 right-hand side in the same pass.
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GramRHSFused(y, k, cols, vals, packed, svec)
+		}
+	})
+	b.Run("fused-unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.GramRHSFusedUnrolled(y, k, cols, vals, packed, svec)
 		}
 	})
 }
@@ -270,10 +288,11 @@ func BenchmarkHostFlatVsBatched(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { run(b, false) })
 }
 
-// BenchmarkHostVariants measures the 8 code variants as real Go kernels.
+// BenchmarkHostVariants measures the full code-variant space (the paper's 8
+// plus the fused/packed family) as real Go kernels.
 func BenchmarkHostVariants(b *testing.B) {
 	mx := hostBenchMatrix(b)
-	for _, v := range variant.All() {
+	for _, v := range variant.Extended() {
 		v := v
 		b.Run(v.ID(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/dataset"
@@ -22,6 +23,10 @@ func main() {
 	k := flag.Int("k", 10, "latent factor")
 	lambda := flag.Float64("lambda", 0.1, "regularization")
 	seed := flag.Int64("seed", 2017, "dataset + init seed")
+	capture := flag.String("capture", "", "run the host variant bench capture and write the JSON record to this file (e.g. BENCH_2.json)")
+	captureScale := flag.Float64("capture-scale", 0.01, "MVLE bench scale for -capture")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	s := experiments.Defaults()
@@ -40,6 +45,48 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "alsbench:", err)
 		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *capture != "" {
+		c, err := experiments.CaptureHostBench(s, *captureScale)
+		if err != nil {
+			fail(err)
+		}
+		c.Fprint(os.Stdout)
+		f, err := os.Create(*capture)
+		if err != nil {
+			fail(err)
+		}
+		if err := c.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("capture written to %s\n", *capture)
+		return
 	}
 	if all || want["table1"] {
 		t, err := experiments.Table1(s)

@@ -54,12 +54,14 @@ type Config struct {
 
 	// Variant selects the code variant. When AutoVariant is set it is
 	// ignored and the empirical selector picks the fastest variant with a
-	// one-iteration probe of all eight (Sec. III-D).
+	// one-iteration probe of the extended space (the paper's eight plus the
+	// fused/packed family; Sec. III-D).
 	Variant     variant.Options
 	AutoVariant bool
 	// UseRecommended applies the paper's per-architecture recommendation
 	// (GPU: +local+registers, CPU/MIC: +local) when Variant is zero and
-	// AutoVariant is off. Host runs use +local+registers+vector.
+	// AutoVariant is off. Host runs use +vec+fus, the measured winner on
+	// real hardware (see the BENCH_*.json trajectory).
 	UseRecommended bool
 
 	// Baseline runs the SAC'15 flat kernel instead (for comparisons).
@@ -176,15 +178,17 @@ func (m *Model) FoldInUser(items []int32, ratings []float32, lambda float32) ([]
 			return nil, fmt.Errorf("core: rating for item %d is %g", it, r)
 		}
 	}
-	smat := linalg.NewDense(m.K, m.K)
-	linalg.GramRegister(m.Y.Data, m.K, items, smat.Data)
-	smat.AddDiag(lambda)
+	// The fused S1+S2 kernel with packed storage: same accumulation order
+	// and solve arithmetic as the separate register kernels with a dense
+	// Cholesky, at half the Gram footprint and one pass over Y's rows.
+	packed := make([]float32, linalg.PackedLen(m.K))
 	xu := make([]float32, m.K)
-	linalg.GatherGaxpy(m.Y.Data, m.K, items, ratings, xu)
-	if err := linalg.CholeskySolve(smat, xu); err != nil {
-		linalg.GramRegister(m.Y.Data, m.K, items, smat.Data)
-		smat.AddDiag(lambda)
-		if err := linalg.LDLSolve(smat, xu); err != nil {
+	linalg.GramRHSFused(m.Y.Data, m.K, items, ratings, packed, xu)
+	linalg.AddDiagPacked(packed, m.K, lambda)
+	if err := linalg.CholeskySolvePacked(packed, m.K, xu); err != nil {
+		linalg.GramRHSFused(m.Y.Data, m.K, items, ratings, packed, xu)
+		linalg.AddDiagPacked(packed, m.K, lambda)
+		if err := linalg.LDLSolvePacked(packed, m.K, xu, make([]float64, m.K)); err != nil {
 			return nil, fmt.Errorf("core: fold-in solve: %w", err)
 		}
 	}
@@ -227,7 +231,9 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		}
 		v = best
 	} else if cfg.UseRecommended && v == (variant.Options{}) {
-		v = variant.Options{Local: true, Register: true, Vector: true}
+		// The fused+vector kernel is the measured host winner (see the
+		// BENCH_*.json trajectory); it subsumes the paper's register strip.
+		v = variant.Options{Vector: true, Fused: true}
 	}
 	start := time.Now()
 	res, err := host.Train(mx, host.Config{
@@ -341,7 +347,7 @@ func SelectVariant(mx *sparse.Matrix, platform string, cfg Config) (variant.Opti
 		}
 		return res.Seconds()
 	}
-	best, ms := variant.SelectBest(variant.All(), measure)
+	best, ms := variant.SelectBest(variant.Extended(), measure)
 	if firstErr != nil {
 		return variant.Options{}, nil, firstErr
 	}

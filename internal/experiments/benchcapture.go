@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/host"
+	"repro/internal/variant"
+)
+
+// This file implements the tracked bench trajectory: a reproducible capture
+// of the real host solver's wall-clock behaviour across the whole code
+// variant space, written as JSON (BENCH_<n>.json in the repo root) so
+// successive optimization PRs leave a comparable record. The capture
+// separates the pre-existing variant space (flat + the paper's 8) from the
+// fused/packed family added on top, and reports the speedup of the best new
+// variant over the best pre-existing one — the number the optimization work
+// is accountable to.
+
+// BenchEntry is one variant's measurement.
+type BenchEntry struct {
+	Variant       string  `json:"variant"`
+	SecondsPerRun float64 `json:"seconds_per_run"`
+	SpeedupVsFlat float64 `json:"speedup_vs_flat"`
+	AllocsPerRow  float64 `json:"allocs_per_row"`
+}
+
+// BenchCapture is the full record of one capture run.
+type BenchCapture struct {
+	Preset     string  `json:"preset"`
+	Scale      float64 `json:"scale"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NNZ        int     `json:"nnz"`
+	K          int     `json:"k"`
+	Iterations int     `json:"iterations"`
+	Workers    int     `json:"workers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	GoArch     string  `json:"goarch"`
+
+	// Baseline holds flat plus the paper's 8 variants (the pre-existing
+	// space); New holds the fused/packed family.
+	Baseline []BenchEntry `json:"baseline"`
+	New      []BenchEntry `json:"new"`
+
+	BestBaseline string `json:"best_baseline"`
+	BestNew      string `json:"best_new"`
+	// SpeedupNewOverBaseline = best baseline seconds / best new seconds.
+	SpeedupNewOverBaseline float64 `json:"speedup_new_over_baseline"`
+}
+
+// CaptureHostBench trains the host solver under every variant on the MVLE
+// preset at the given bench scale (paper configuration: k=10, 5 iterations)
+// and returns the measurements. Each variant is timed via testing.Benchmark
+// and its steady-state row-update allocation count is recorded.
+func CaptureHostBench(s Settings, scale float64) (*BenchCapture, error) {
+	if scale <= 0 {
+		scale = 0.01
+	}
+	ds := dataset.Movielens.ScaledForBench(scale).Generate(s.Seed)
+	mx := ds.Matrix
+	if mx.NNZ() == 0 {
+		return nil, fmt.Errorf("benchcapture: empty dataset at scale %g", scale)
+	}
+	cap := &BenchCapture{
+		Preset: dataset.Movielens.Name, Scale: scale,
+		Rows: mx.Rows(), Cols: mx.Cols(), NNZ: mx.NNZ(),
+		K: s.K, Iterations: s.Iterations,
+		Workers:    runtime.GOMAXPROCS(0),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GoArch:     runtime.GOARCH,
+	}
+
+	measure := func(name string, cfg host.Config) (BenchEntry, error) {
+		var trainErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := host.Train(mx, cfg); err != nil {
+					trainErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if trainErr != nil {
+			return BenchEntry{}, fmt.Errorf("benchcapture %s: %w", name, trainErr)
+		}
+		return BenchEntry{
+			Variant:       name,
+			SecondsPerRun: r.T.Seconds() / float64(r.N),
+			AllocsPerRow:  host.RowUpdateAllocs(mx, cfg),
+		}, nil
+	}
+
+	base := host.Config{K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed}
+	flatCfg := base
+	flatCfg.Flat = true
+	flat, err := measure("flat", flatCfg)
+	if err != nil {
+		return nil, err
+	}
+	cap.Baseline = append(cap.Baseline, flat)
+	for _, v := range variant.Extended() {
+		cfg := base
+		cfg.Variant = v
+		e, err := measure(v.ID(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if v.Fused {
+			cap.New = append(cap.New, e)
+		} else {
+			cap.Baseline = append(cap.Baseline, e)
+		}
+	}
+	for i := range cap.Baseline {
+		cap.Baseline[i].SpeedupVsFlat = flat.SecondsPerRun / cap.Baseline[i].SecondsPerRun
+	}
+	for i := range cap.New {
+		cap.New[i].SpeedupVsFlat = flat.SecondsPerRun / cap.New[i].SecondsPerRun
+	}
+	sort.Slice(cap.Baseline, func(i, j int) bool {
+		return cap.Baseline[i].SecondsPerRun < cap.Baseline[j].SecondsPerRun
+	})
+	sort.Slice(cap.New, func(i, j int) bool {
+		return cap.New[i].SecondsPerRun < cap.New[j].SecondsPerRun
+	})
+	cap.BestBaseline = cap.Baseline[0].Variant
+	if len(cap.New) > 0 {
+		cap.BestNew = cap.New[0].Variant
+		cap.SpeedupNewOverBaseline = cap.Baseline[0].SecondsPerRun / cap.New[0].SecondsPerRun
+	}
+	return cap, nil
+}
+
+// WriteJSON renders the capture as indented JSON.
+func (c *BenchCapture) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Fprint prints a human-readable summary.
+func (c *BenchCapture) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== host bench capture: %s scale=%g (m=%d n=%d nnz=%d, k=%d, %d iters, %d workers) ==\n",
+		c.Preset, c.Scale, c.Rows, c.Cols, c.NNZ, c.K, c.Iterations, c.Workers)
+	row := func(e BenchEntry) {
+		fmt.Fprintf(w, "  %-18s %10.4fs  %6.2fx vs flat  %g allocs/row\n",
+			e.Variant, e.SecondsPerRun, e.SpeedupVsFlat, e.AllocsPerRow)
+	}
+	for _, e := range c.Baseline {
+		row(e)
+	}
+	for _, e := range c.New {
+		row(e)
+	}
+	fmt.Fprintf(w, "  best new %s vs best baseline %s: %.2fx\n\n",
+		c.BestNew, c.BestBaseline, c.SpeedupNewOverBaseline)
+}

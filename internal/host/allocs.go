@@ -1,0 +1,34 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// RowUpdateAllocs measures the average heap allocations one steady-state row
+// update performs under cfg, via testing.AllocsPerRun. The worker scratch is
+// warmed by a full pass over the rows first, exactly as a pool worker's
+// scratch is after its first chunk; the package tests and the bench capture
+// assert the result is zero for every variant.
+func RowUpdateAllocs(mx *sparse.Matrix, cfg Config) float64 {
+	m := mx.Rows()
+	cfg.setDefaults(m, mx.NNZ())
+	y := InitialY(mx.Cols(), cfg.K, cfg.Seed)
+	x := linalg.NewDense(m, cfg.K)
+	ws := newWorkerState(cfg.K)
+	for u := 0; u < m; u++ {
+		if err := updateRow(mx.R, y, x, u, cfg, ws); err != nil {
+			return -1
+		}
+	}
+	u := 0
+	return testing.AllocsPerRun(200, func() {
+		_ = updateRow(mx.R, y, x, u, cfg, ws)
+		u++
+		if u == m {
+			u = 0
+		}
+	})
+}

@@ -1,18 +1,26 @@
 // Package host implements the ALS solver as real goroutine-parallel Go for
 // the machine the benchmarks run on. It is the wall-clock counterpart to the
 // simulated-device kernels in internal/kernels: the same code-variant space
-// (flat baseline vs. thread batching; register/local/vector toggles) mapped
-// to genuine host mechanisms:
+// (flat baseline vs. thread batching; register/local/vector/fused toggles)
+// mapped to genuine host mechanisms:
 //
 //   - flat scheduling  -> one static contiguous block of rows per worker,
 //     so skewed rows imbalance the workers (the SAC'15 baseline behaviour);
-//   - thread batching  -> dynamic chunked work sharing via an atomic cursor;
+//   - thread batching  -> dynamic chunked work sharing via an atomic cursor,
+//     with rows visited longest-first (LPT) so stragglers surface early;
 //   - registers        -> the Fig. 3b k-strip accumulator kernel instead of
 //     the k×k scratch;
 //   - local memory     -> staging the gathered rows of Y (and the row's
 //     ratings) into a dense per-worker buffer before computing, i.e. cache
 //     blocking;
-//   - vector units     -> 4-way unrolled inner loops.
+//   - vector units     -> 4-way unrolled inner loops;
+//   - fused            -> S1 and S2 in one sweep over the gathered rows into
+//     a packed upper-triangular Gram, solved by a packed Cholesky.
+//
+// Workers are spawned once per Train call and persist across all half
+// iterations: each half is a rendezvous on a shared job (an atomic row
+// cursor), not a fresh goroutine fan-out, and each worker's scratch lives
+// for the whole run so the row-update steady state allocates nothing.
 //
 // Every variant produces identical factors for identical inputs (the
 // package tests assert this), so scheduling and kernel choice change only
@@ -61,11 +69,37 @@ type Config struct {
 	// Implies loss evaluation each iteration. 0 disables.
 	Tolerance float64
 	// ChunkSize is the number of rows a batched worker claims at once;
-	// 0 means a heuristic based on m and Workers.
+	// 0 means a heuristic from the row count, mean row degree and Workers.
 	ChunkSize int
 }
 
-func (c *Config) setDefaults(m int) {
+// chunkRowNNZBudget caps a default chunk's work: one claim covers roughly
+// this many nonzeros. Without the cap a 64-row chunk is microseconds of work
+// on a sparse side but a serial straggler on a dense one.
+const chunkRowNNZBudget = 4096
+
+// defaultChunk sizes a batched worker's claim for an m-row side holding nnz
+// ratings: small enough that every worker sees several chunks (dynamic
+// balancing), and capped by the mean row degree so claim granularity is
+// roughly constant in work rather than in rows.
+func defaultChunk(m, nnz, workers int) int {
+	c := 64
+	if v := 1 + m/(workers*8); v < c {
+		c = v
+	}
+	if m > 0 && nnz > 0 {
+		meanDeg := (nnz + m - 1) / m
+		if byWork := chunkRowNNZBudget / meanDeg; byWork < c {
+			c = byWork
+		}
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func (c *Config) setDefaults(m, nnz int) {
 	if c.K <= 0 {
 		c.K = 10
 	}
@@ -76,10 +110,7 @@ func (c *Config) setDefaults(m int) {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.ChunkSize <= 0 {
-		c.ChunkSize = 64
-		if m/(c.Workers*8) < 64 {
-			c.ChunkSize = 1 + m/(c.Workers*8)
-		}
+		c.ChunkSize = defaultChunk(m, nnz, c.Workers)
 	}
 }
 
@@ -113,7 +144,8 @@ func (r *Result) RMSE(on *sparse.CSR) float64 { return metrics.RMSE(on, r.X, r.Y
 // solved exactly row-by-row via Cholesky, for Config.Iterations rounds.
 func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	m, n := mx.Rows(), mx.Cols()
-	cfg.setDefaults(m)
+	userChunk := cfg.ChunkSize
+	cfg.setDefaults(m, mx.NNZ())
 	if mx.NNZ() == 0 {
 		return nil, fmt.Errorf("host: empty rating matrix")
 	}
@@ -124,11 +156,29 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	// the transpose by reinterpreting the CSC arrays (no copy).
 	rt := &sparse.CSR{NumRows: n, NumCols: m, RowPtr: mx.C.ColPtr, ColIdx: mx.C.RowIdx, Val: mx.C.Val}
 
+	pool := newWorkerPool(cfg)
+	defer pool.close()
+
+	// Per-side schedules, built once and reused every iteration: a
+	// longest-row-first visit order (row updates are independent, so order
+	// changes only balance, never results) and a degree-aware chunk size.
+	// With a single worker there is no imbalance to fix and the natural
+	// order has better locality, so LPT is skipped.
+	var orderX, orderY []int32
+	if !cfg.Flat && pool.workers > 1 {
+		orderX = lptOrder(mx.R)
+		orderY = lptOrder(rt)
+	}
+	chunkX, chunkY := cfg.ChunkSize, cfg.ChunkSize
+	if userChunk <= 0 {
+		chunkY = defaultChunk(n, mx.NNZ(), cfg.Workers)
+	}
+
 	res := &Result{X: x, Y: y}
 	start := time.Now()
 	prevLoss := math.Inf(1)
 	for it := 1; it <= cfg.Iterations; it++ {
-		if err := updateSide(mx.R, y, x, cfg); err != nil {
+		if err := pool.runHalf(mx.R, y, x, orderX, chunkX); err != nil {
 			return nil, fmt.Errorf("host: iteration %d update X: %w", it, err)
 		}
 		if cfg.TrackLoss {
@@ -138,7 +188,7 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 				Elapsed: time.Since(start),
 			})
 		}
-		if err := updateSide(rt, x, y, cfg); err != nil {
+		if err := pool.runHalf(rt, x, y, orderY, chunkY); err != nil {
 			return nil, fmt.Errorf("host: iteration %d update Y: %w", it, err)
 		}
 		if cfg.TrackLoss {
@@ -178,78 +228,159 @@ func InitialY(n, k int, seed int64) *linalg.Dense {
 	return y
 }
 
-// updateSide recomputes every row of out by solving
-// (FᵀF|Ω + λI)·out_u = Fᵀ r_u with F = fixed, using the configured
-// scheduling and kernel variant.
-func updateSide(r *sparse.CSR, fixed, out *linalg.Dense, cfg Config) error {
+// lptOrder returns the rows of r sorted by descending nonzero count, ties
+// broken by ascending row index (a counting sort, so building it is O(m)).
+// Visiting rows longest-first approximates LPT scheduling: the expensive
+// rows are claimed while every worker is still busy, instead of surfacing
+// at the tail where they serialize the half iteration.
+func lptOrder(r *sparse.CSR) []int32 {
 	m := r.NumRows
-	if m == 0 {
-		return nil
-	}
-	workers := cfg.Workers
-	if workers > m {
-		workers = m
-	}
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	var cursor atomic.Int64
-
-	runWorker := func(w int) {
-		defer wg.Done()
-		ws := newWorkerState(cfg.K)
-		if cfg.Flat {
-			lo := w * m / workers
-			hi := (w + 1) * m / workers
-			for u := lo; u < hi; u++ {
-				if err := updateRow(r, fixed, out, u, cfg, ws); err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
-			}
-			return
-		}
-		for {
-			base := int(cursor.Add(int64(cfg.ChunkSize))) - cfg.ChunkSize
-			if base >= m {
-				return
-			}
-			end := base + cfg.ChunkSize
-			if end > m {
-				end = m
-			}
-			for u := base; u < end; u++ {
-				if err := updateRow(r, fixed, out, u, cfg, ws); err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
-			}
+	maxDeg := 0
+	for u := 0; u < m; u++ {
+		if d := r.RowNNZ(u); d > maxDeg {
+			maxDeg = d
 		}
 	}
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go runWorker(w)
+	start := make([]int, maxDeg+1)
+	for u := 0; u < m; u++ {
+		start[r.RowNNZ(u)]++
 	}
-	wg.Wait()
-	if err, _ := firstErr.Load().(error); err != nil {
+	pos := 0
+	for d := maxDeg; d >= 0; d-- {
+		n := start[d]
+		start[d] = pos
+		pos += n
+	}
+	order := make([]int32, m)
+	for u := 0; u < m; u++ {
+		d := r.RowNNZ(u)
+		order[start[d]] = int32(u)
+		start[d]++
+	}
+	return order
+}
+
+// halfJob is one half iteration handed to every worker: the side's CSR, the
+// factor pair, the visit order, and a shared atomic cursor the workers claim
+// chunks from. A job completes when all workers return from it.
+type halfJob struct {
+	r          *sparse.CSR
+	fixed, out *linalg.Dense
+	order      []int32 // LPT permutation; nil = natural order
+	chunk      int
+	cursor     atomic.Int64
+	err        atomic.Value
+	wg         sync.WaitGroup
+}
+
+// workerPool owns Config.Workers goroutines for the lifetime of one Train
+// call. Each worker keeps its scratch (Gram matrix, staging buffers) across
+// every half iteration, so steady-state row updates allocate nothing; a half
+// iteration costs two channel sends per worker instead of a goroutine spawn.
+type workerPool struct {
+	cfg     Config
+	workers int
+	jobs    chan *halfJob
+	wg      sync.WaitGroup
+}
+
+func newWorkerPool(cfg Config) *workerPool {
+	p := &workerPool{cfg: cfg, workers: cfg.Workers, jobs: make(chan *halfJob, cfg.Workers)}
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// runHalf broadcasts one job to every worker and waits for the rendezvous.
+func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []int32, chunk int) error {
+	job := &halfJob{r: r, fixed: fixed, out: out, order: order, chunk: chunk}
+	job.wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		p.jobs <- job
+	}
+	job.wg.Wait()
+	if err, _ := job.err.Load().(error); err != nil {
 		return err
 	}
 	return nil
 }
 
-// workerState is the per-goroutine scratch: the k×k normal matrix, the
-// k-vector right-hand side, and the staging buffers the "local memory"
-// variant copies gathered data into.
+func (p *workerPool) run(w int) {
+	defer p.wg.Done()
+	ws := newWorkerState(p.cfg.K)
+	for job := range p.jobs {
+		p.work(w, job, ws)
+		job.wg.Done()
+	}
+}
+
+func (p *workerPool) work(w int, job *halfJob, ws *workerState) {
+	m := job.r.NumRows
+	if p.cfg.Flat {
+		// Static contiguous blocks: worker w owns [w·m/W, (w+1)·m/W).
+		lo := w * m / p.workers
+		hi := (w + 1) * m / p.workers
+		for u := lo; u < hi; u++ {
+			if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
+				job.err.CompareAndSwap(nil, err)
+				return
+			}
+		}
+		return
+	}
+	for job.err.Load() == nil {
+		base := int(job.cursor.Add(int64(job.chunk))) - job.chunk
+		if base >= m {
+			return
+		}
+		end := base + job.chunk
+		if end > m {
+			end = m
+		}
+		for i := base; i < end; i++ {
+			u := i
+			if job.order != nil {
+				u = int(job.order[i])
+			}
+			if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
+				job.err.CompareAndSwap(nil, err)
+				return
+			}
+		}
+	}
+}
+
+// workerState is the per-goroutine scratch: the k×k normal matrix (and its
+// packed twin for fused variants), the k-vector right-hand side, solver
+// scratch, and the staging buffers the "local memory" variant copies
+// gathered data into. It lives as long as its worker, so a warmed state
+// makes updateRow allocation-free.
 type workerState struct {
 	smat      *linalg.Dense
 	svec      []float32
+	gsum      []float32 // GramScatter's private accumulator
+	pmat      []float32 // packed upper-triangular Gram (fused variants)
+	ldl       []float64 // LDL fallback scratch
 	stageY    []float32 // staged rows of the fixed factor, omega×k
 	stageVals []float32
 	stageCols []int32
 }
 
 func newWorkerState(k int) *workerState {
-	return &workerState{smat: linalg.NewDense(k, k), svec: make([]float32, k)}
+	return &workerState{
+		smat: linalg.NewDense(k, k),
+		svec: make([]float32, k),
+		gsum: make([]float32, k*k),
+		pmat: make([]float32, linalg.PackedLen(k)),
+		ldl:  make([]float64, k),
+	}
 }
 
 func (ws *workerState) ensureStage(omega, k int) {
@@ -265,7 +396,9 @@ func (ws *workerState) ensureStage(omega, k int) {
 	ws.stageCols = ws.stageCols[:omega]
 }
 
-// updateRow solves one row's normal equations (Algorithm 2 body).
+// updateRow solves one row's normal equations (Algorithm 2 body). With a
+// warmed workerState it performs no allocations (the package tests assert
+// zero allocs per row for every variant).
 func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *workerState) error {
 	k := cfg.K
 	cols, vals := r.Row(u)
@@ -294,20 +427,45 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 		gcols, gvals = ws.stageCols, ws.stageVals
 	}
 
-	// S1: smat = FᵀF|Ω.
-	switch {
-	case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
-		linalg.GramScatter(src, k, gcols, ws.smat.Data)
-	case cfg.Variant.Vector:
-		linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
-	default:
-		linalg.GramRegister(src, k, gcols, ws.smat.Data)
-	}
 	// Regularize: λI (paper) or λ|Ω_u|I (ALS-WR).
 	lam := cfg.Lambda
 	if cfg.WeightedLambda {
 		lam *= float32(omega)
 	}
+
+	if !cfg.Flat && cfg.Variant.Fused {
+		// Fused S1+S2: one sweep over the gathered rows accumulates the
+		// packed upper-triangular Gram and the right-hand side together,
+		// then a packed Cholesky solves in place.
+		fused := linalg.GramRHSFused
+		if cfg.Variant.Vector {
+			fused = linalg.GramRHSFusedUnrolled
+		}
+		fused(src, k, gcols, gvals, ws.pmat, ws.svec)
+		linalg.AddDiagPacked(ws.pmat, k, lam)
+		if err := linalg.CholeskySolvePacked(ws.pmat, k, ws.svec); err != nil {
+			fused(src, k, gcols, gvals, ws.pmat, ws.svec)
+			linalg.AddDiagPacked(ws.pmat, k, lam)
+			if err := linalg.LDLSolvePacked(ws.pmat, k, ws.svec, ws.ldl); err != nil {
+				return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
+			}
+		}
+		copy(xu, ws.svec)
+		return nil
+	}
+
+	// S1: smat = FᵀF|Ω.
+	gram := func() {
+		switch {
+		case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
+			linalg.GramScatter(src, k, gcols, ws.smat.Data, ws.gsum)
+		case cfg.Variant.Vector:
+			linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
+		default:
+			linalg.GramRegister(src, k, gcols, ws.smat.Data)
+		}
+	}
+	gram()
 	ws.smat.AddDiag(lam)
 
 	// S2: svec = Fᵀ r_u.
@@ -319,14 +477,7 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 
 	// S3: Cholesky solve; LDL fallback for borderline systems (λ = 0).
 	if err := linalg.CholeskySolve(ws.smat, ws.svec); err != nil {
-		switch {
-		case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
-			linalg.GramScatter(src, k, gcols, ws.smat.Data)
-		case cfg.Variant.Vector:
-			linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
-		default:
-			linalg.GramRegister(src, k, gcols, ws.smat.Data)
-		}
+		gram()
 		ws.smat.AddDiag(lam)
 		if err := linalg.LDLSolve(ws.smat, ws.svec); err != nil {
 			return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)

@@ -72,7 +72,7 @@ func TestVariantsEquivalent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range variant.All() {
+	for _, v := range variant.Extended() {
 		cfg := Config{K: 10, Lambda: 0.1, Iterations: 2, Seed: 7, Variant: v}
 		got, err := Train(mx, cfg)
 		if err != nil {
@@ -91,25 +91,74 @@ func TestVariantsEquivalent(t *testing.T) {
 // not depend on parallelism or chunking.
 func TestWorkerCountInvariance(t *testing.T) {
 	mx := smallDataset(t, 4)
-	var ref *Result
-	for _, workers := range []int{1, 2, 7, 32} {
-		cfg := Config{K: 6, Lambda: 0.1, Iterations: 2, Seed: 9, Workers: workers,
-			Variant: variant.Options{Register: true, Local: true}}
-		res, err := Train(mx, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ref == nil {
-			ref = res
-			continue
-		}
-		if d := linalg.MaxAbsDiff(ref.X, res.X); d != 0 {
-			t.Fatalf("workers=%d: X differs by %g from single-worker run", workers, d)
-		}
-		if d := linalg.MaxAbsDiff(ref.Y, res.Y); d != 0 {
-			t.Fatalf("workers=%d: Y differs by %g", workers, d)
+	for _, v := range []variant.Options{
+		{Register: true, Local: true},
+		{Fused: true, Local: true, Vector: true},
+	} {
+		var ref *Result
+		for _, workers := range []int{1, 2, 7, 32} {
+			cfg := Config{K: 6, Lambda: 0.1, Iterations: 2, Seed: 9, Workers: workers, Variant: v}
+			res, err := Train(mx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if d := linalg.MaxAbsDiff(ref.X, res.X); d != 0 {
+				t.Fatalf("%s workers=%d: X differs by %g from single-worker run", v.ID(), workers, d)
+			}
+			if d := linalg.MaxAbsDiff(ref.Y, res.Y); d != 0 {
+				t.Fatalf("%s workers=%d: Y differs by %g", v.ID(), workers, d)
+			}
 		}
 	}
+}
+
+// TestLPTOrder: the longest-processing-time permutation must order rows by
+// strictly non-increasing degree, break ties by ascending row index, and be
+// a valid permutation.
+func TestLPTOrder(t *testing.T) {
+	coo := sparse.NewCOO(6, 5)
+	deg := []int{2, 4, 1, 4, 0, 2} // rows 1,3 tie at 4; rows 0,5 tie at 2
+	for u, d := range deg {
+		for j := 0; j < d; j++ {
+			coo.Append(u, j, float32(u+j+1))
+		}
+	}
+	mx, err := sparse.NewMatrix(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := lptOrder(mx.R)
+	want := []int32{1, 3, 0, 5, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order length %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRowUpdateAllocsZero is the steady-state allocation regression test:
+// with a warmed worker scratch, no variant's row update may touch the heap.
+func TestRowUpdateAllocsZero(t *testing.T) {
+	mx := smallDataset(t, 21)
+	check := func(name string, cfg Config) {
+		if n := RowUpdateAllocs(mx, cfg); n != 0 {
+			t.Errorf("%s: %v allocs per row update, want 0", name, n)
+		}
+	}
+	check("flat", Config{K: 10, Lambda: 0.1, Flat: true})
+	for _, v := range variant.Extended() {
+		check(v.ID(), Config{K: 10, Lambda: 0.1, Variant: v})
+	}
+	// The ALS-WR weighted-λ path shares the hot loop; keep it clean too.
+	check("tb+fus weighted", Config{K: 10, Lambda: 0.1, WeightedLambda: true,
+		Variant: variant.Options{Fused: true}})
 }
 
 func TestEmptyRowsGetZeroFactors(t *testing.T) {
@@ -181,9 +230,47 @@ func TestLambdaZeroFallback(t *testing.T) {
 
 func TestDefaultsApplied(t *testing.T) {
 	cfg := Config{}
-	cfg.setDefaults(1000)
+	cfg.setDefaults(1000, 50000)
 	if cfg.K != 10 || cfg.Iterations != 5 || cfg.Workers < 1 || cfg.ChunkSize < 1 {
 		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+// TestDefaultChunkDegreeAware: the default chunk must shrink with the mean
+// row degree so a claim is roughly constant work, not constant rows. A
+// skewed dense side (mean degree 500) must get a far smaller chunk than a
+// sparse side of the same row count.
+func TestDefaultChunkDegreeAware(t *testing.T) {
+	const m, workers = 100000, 4
+	sparseChunk := defaultChunk(m, m*5, workers)  // mean degree 5
+	denseChunk := defaultChunk(m, m*500, workers) // mean degree 500
+	if sparseChunk != 64 {
+		t.Fatalf("sparse-side chunk = %d, want 64", sparseChunk)
+	}
+	if want := chunkRowNNZBudget / 500; denseChunk != want {
+		t.Fatalf("dense-side chunk = %d, want %d (budget %d / mean degree 500)",
+			denseChunk, want, chunkRowNNZBudget)
+	}
+	// Extremes: tiny sides and ultra-dense rows still give a sane chunk.
+	if c := defaultChunk(10, 100, 8); c < 1 {
+		t.Fatalf("tiny side chunk = %d", c)
+	}
+	if c := defaultChunk(1000, 1000*10000, 2); c != 1 {
+		t.Fatalf("ultra-dense chunk = %d, want 1", c)
+	}
+	// An explicit ChunkSize must be respected, not overwritten.
+	cfg := Config{ChunkSize: 7}
+	cfg.setDefaults(100000, 100000*500)
+	if cfg.ChunkSize != 7 {
+		t.Fatalf("explicit ChunkSize overwritten: %d", cfg.ChunkSize)
+	}
+	// A generated skewed preset end-to-end: the heavy side's heuristic chunk
+	// stays within the work budget for its actual mean degree.
+	mx := densePreset.Generate(9).Matrix
+	meanDeg := (mx.NNZ() + mx.Rows() - 1) / mx.Rows()
+	c := defaultChunk(mx.Rows(), mx.NNZ(), 1)
+	if c*meanDeg > chunkRowNNZBudget && c > 1 {
+		t.Fatalf("preset chunk %d × mean degree %d exceeds budget %d", c, meanDeg, chunkRowNNZBudget)
 	}
 }
 
@@ -247,10 +334,13 @@ func TestHeldOutRMSE(t *testing.T) {
 // TestVariantEquivalenceQuick: property form over random variants and seeds.
 func TestVariantEquivalenceQuick(t *testing.T) {
 	mx := smallDataset(t, 10)
-	f := func(reg, loc, vec bool, seedByte uint8) bool {
+	f := func(reg, loc, vec, fus bool, seedByte uint8) bool {
 		seed := int64(seedByte)
+		if fus {
+			reg = false // fused subsumes the register strip
+		}
 		a, err := Train(mx, Config{K: 5, Lambda: 0.1, Iterations: 1, Seed: seed,
-			Variant: variant.Options{Register: reg, Local: loc, Vector: vec}})
+			Variant: variant.Options{Register: reg, Local: loc, Vector: vec, Fused: fus}})
 		if err != nil {
 			return false
 		}

@@ -108,10 +108,14 @@ func UpdateSide(r *sparse.CSR, fixed, out *linalg.Dense, cfg Config) (*sim.Repor
 }
 
 // scratch is the per-group workspace; pooled because sim.Run creates group
-// contexts concurrently.
+// contexts concurrently. gsum backs the baseline scatter kernel's private
+// buffer; packed and ldl back the fused/packed S1+S3 path.
 type scratch struct {
-	smat *linalg.Dense
-	svec []float32
+	smat   *linalg.Dense
+	svec   []float32
+	gsum   []float32
+	packed []float32
+	ldl    []float64
 }
 
 var scratchPool = sync.Pool{}
@@ -123,7 +127,9 @@ func getScratch(k int) *scratch {
 			return s
 		}
 	}
-	return &scratch{smat: linalg.NewDense(k, k), svec: make([]float32, k)}
+	return &scratch{smat: linalg.NewDense(k, k), svec: make([]float32, k),
+		gsum: make([]float32, k*k), packed: make([]float32, linalg.PackedLen(k)),
+		ldl: make([]float64, k)}
 }
 
 func putScratch(s *scratch) { scratchPool.Put(s) }
@@ -140,7 +146,27 @@ func solveRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, s *scr
 		}
 		return nil
 	}
-	gram := linalg.GramScatter
+	if cfg.Spec.Fused {
+		// Fused S1+S2 into packed storage, packed Cholesky S3.
+		fused := linalg.GramRHSFused
+		if cfg.Spec.Vector {
+			fused = linalg.GramRHSFusedUnrolled
+		}
+		fused(fixed.Data, cfg.K, cols, vals, s.packed, s.svec)
+		linalg.AddDiagPacked(s.packed, cfg.K, cfg.Lambda)
+		if err := linalg.CholeskySolvePacked(s.packed, cfg.K, s.svec); err != nil {
+			fused(fixed.Data, cfg.K, cols, vals, s.packed, s.svec)
+			linalg.AddDiagPacked(s.packed, cfg.K, cfg.Lambda)
+			if err := linalg.LDLSolvePacked(s.packed, cfg.K, s.svec, s.ldl); err != nil {
+				return fmt.Errorf("row %d: %w", u, err)
+			}
+		}
+		copy(xu, s.svec)
+		return nil
+	}
+	gram := func(y []float32, k int, cols []int32, smat []float32) {
+		linalg.GramScatter(y, k, cols, smat, s.gsum)
+	}
 	switch {
 	case cfg.Spec.Vector:
 		gram = linalg.GramUnrolled

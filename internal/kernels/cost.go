@@ -105,9 +105,12 @@ func (e env) batchedS1(spec Spec, omega int) device.Counters {
 	// ALU classification: on CPU/MIC the contiguous staged form implicitly
 	// vectorizes, the guarded register form defeats the vectorizer
 	// (Sec. V-B's "unpredictable" CPU/MIC observations), and explicit
-	// vectors restore full-width issue anywhere.
+	// vectors restore full-width issue anywhere. The fused kernel's packed
+	// strips are contiguous, so it vectorizes like the staged form.
 	switch {
 	case spec.Vector:
+		c.VectorALUOps += steps
+	case spec.Fused && !e.dev.HasScratchpad:
 		c.VectorALUOps += steps
 	case spec.S1Register && !e.dev.HasScratchpad:
 		c.ScalarALUOps += steps
@@ -120,7 +123,8 @@ func (e env) batchedS1(spec Spec, omega int) device.Counters {
 	// Accumulator traffic: without the Fig. 3b restructuring the k×k
 	// dynamically-indexed private array lives in spill space (CUDA local
 	// memory on the GPU, stack lines on CPU/MIC): one round trip per MAD.
-	if !spec.S1Register {
+	// The fused kernel's packed accumulator is the k-strip register form.
+	if !spec.S1Register && !spec.Fused {
 		c.SpillOps += steps
 	}
 
@@ -175,6 +179,18 @@ func (e env) batchedS2(spec Spec, omega int) device.Counters {
 		c.VectorALUOps += steps
 	} else {
 		c.ALUOps += steps
+	}
+	if spec.Fused {
+		// The fused kernel accumulates svec during the S1 sweep: the
+		// gathered rows are already in registers, so S2 costs only its
+		// multiply-adds plus the rating loads (the column-major value
+		// indirection still pays residual scattered traffic on the GPU).
+		if e.dev.HasScratchpad {
+			c.GlobalTx += float64(omega) * s2IndirectionTx
+		} else {
+			c.CacheHits += float64(omega)
+		}
+		return c
 	}
 	if e.dev.HasScratchpad {
 		if spec.S2Local {
@@ -234,10 +250,16 @@ func (e env) s3(spec Spec) device.Counters {
 		flops = k*k*k/6 + k*k
 	}
 	c.Overhead += flops * serialCPI(e.dev)
+	// Packed storage (fused variant) halves the S3 working-set touches:
+	// the factorization walks k(k+1)/2 elements instead of k².
+	touch := s3ScratchTouch
+	if spec.Fused {
+		touch *= 0.5
+	}
 	if e.dev.HasScratchpad {
-		c.LocalOps += flops * s3ScratchTouch
+		c.LocalOps += flops * touch
 	} else {
-		c.CacheHits += flops * s3ScratchTouch
+		c.CacheHits += flops * touch
 	}
 	c.Add(e.groupOverhead())
 	return c

@@ -34,6 +34,11 @@ type Spec struct {
 	// S3Gauss replaces the Cholesky solve with the generic Gaussian
 	// elimination the tuning narrative of Sec. V-C starts from.
 	S3Gauss bool
+	// Fused computes S1 and S2 in one sweep over the gathered rows with a
+	// packed upper-triangular accumulator, and runs S3 as a packed
+	// Cholesky. Subsumes S1Register (the packed strip is the register
+	// form); composes with S1Local/S2Local staging and Vector.
+	Fused bool
 }
 
 // FromVariant maps one of the paper's 8 code variants onto a per-stage spec
@@ -45,6 +50,7 @@ func FromVariant(v variant.Options) Spec {
 		S2Local:    v.Local,
 		S1Register: v.Register,
 		Vector:     v.Vector,
+		Fused:      v.Fused,
 	}
 }
 
@@ -56,7 +62,8 @@ func (s Spec) Name() string {
 	if s.Flat {
 		return "flat baseline"
 	}
-	v := variant.Options{Local: s.S1Local || s.S2Local, Register: s.S1Register, Vector: s.Vector}
+	v := variant.Options{Local: s.S1Local || s.S2Local, Register: s.S1Register && !s.Fused,
+		Vector: s.Vector, Fused: s.Fused}
 	n := v.String()
 	if s.S3Gauss {
 		n += " (gauss S3)"

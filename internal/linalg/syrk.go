@@ -18,11 +18,13 @@ package linalg
 // GramScatter computes smat += Σ y_c·y_cᵀ with the baseline loop nest:
 // for each (i,j) output pair, scan all nonzeros. cols lists the selected row
 // indices of y (an n×k row-major factor matrix); smat is k×k row-major and
-// is fully overwritten (both triangles).
-func GramScatter(y []float32, k int, cols []int32, smat []float32) {
-	// sum[k*k] is the baseline's oversized private buffer; with large k this
-	// is exactly the structure that spills registers on the device.
-	sum := make([]float32, k*k)
+// is fully overwritten (both triangles). sum is the caller-provided k×k
+// scratch standing in for the baseline's oversized private buffer — with
+// large k this is exactly the structure that spills registers on the
+// device; on the host the solver passes its per-worker scratch so the row
+// loop stays allocation-free.
+func GramScatter(y []float32, k int, cols []int32, smat, sum []float32) {
+	sum = sum[:k*k]
 	for i := 0; i < k; i++ {
 		for j := i; j < k; j++ {
 			var s float32

@@ -50,8 +50,11 @@ func TestGramVariantsAgree(t *testing.T) {
 			y := randomFactor(rng, 50, k)
 			cols, _ := randomGather(rng, 50, omega)
 			ref := referenceGram(y, k, cols)
+			scratch := make([]float32, k*k)
 			impls := map[string]func([]float32, int, []int32, []float32){
-				"scatter":  GramScatter,
+				"scatter": func(y []float32, k int, cols []int32, smat []float32) {
+					GramScatter(y, k, cols, smat, scratch)
+				},
 				"register": GramRegister,
 				"unrolled": GramUnrolled,
 			}
@@ -121,7 +124,7 @@ func TestGramQuick(t *testing.T) {
 		cols, _ := randomGather(rng, n, omega)
 		a := make([]float32, k*k)
 		b := make([]float32, k*k)
-		GramScatter(y, k, cols, a)
+		GramScatter(y, k, cols, a, make([]float32, k*k))
 		GramUnrolled(y, k, cols, b)
 		for i := range a {
 			if math.Abs(float64(a[i])-float64(b[i])) > 1e-2*(1+math.Abs(float64(a[i]))) {

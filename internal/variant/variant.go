@@ -26,6 +26,14 @@ type Options struct {
 	// Vector uses explicit wide vector operations (float16-style) in the
 	// inner loops.
 	Vector bool
+	// Fused computes S1 and S2 in a single sweep over the gathered rows,
+	// accumulating the Gram matrix in packed upper-triangular storage
+	// (k(k+1)/2) and solving S3 with a packed Cholesky. It subsumes the
+	// Register restructuring (the packed accumulator is the k-strip form),
+	// so the Register toggle is a no-op when Fused is set; Local and Vector
+	// compose with it as usual. An extension beyond the paper's 8 variants
+	// (see Extended).
+	Fused bool
 }
 
 // All enumerates the 8 variants in the paper's presentation order: the
@@ -42,6 +50,20 @@ func All() []Options {
 		{Local: true, Vector: true},
 		{Register: true, Local: true, Vector: true},
 	}
+}
+
+// Extended enumerates the full variant space of this reproduction: the
+// paper's 8 variants plus the fused-kernel family (fused S1+S2 with packed
+// storage, alone and combined with local memory and vectors). The Register
+// toggle is omitted from the fused combinations because the packed
+// accumulator already is the register-strip form.
+func Extended() []Options {
+	return append(All(),
+		Options{Fused: true},
+		Options{Fused: true, Local: true},
+		Options{Fused: true, Vector: true},
+		Options{Fused: true, Local: true, Vector: true},
+	)
 }
 
 // Ladder returns the incremental sequence Figure 6 plots: thread batching,
@@ -67,6 +89,9 @@ func (o Options) String() string {
 	if o.Vector {
 		parts = append(parts, "vector")
 	}
+	if o.Fused {
+		parts = append(parts, "fused")
+	}
 	return strings.Join(parts, "+")
 }
 
@@ -81,6 +106,9 @@ func (o Options) ID() string {
 	}
 	if o.Vector {
 		id += "+vec"
+	}
+	if o.Fused {
+		id += "+fus"
 	}
 	return id
 }
@@ -97,6 +125,8 @@ func ParseID(s string) (Options, error) {
 			o.Local = true
 		case "vec":
 			o.Vector = true
+		case "fus":
+			o.Fused = true
 		default:
 			return Options{}, fmt.Errorf("variant: unknown token %q in %q", part, s)
 		}

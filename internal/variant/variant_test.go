@@ -22,6 +22,33 @@ func TestAllEnumeratesEightVariants(t *testing.T) {
 	}
 }
 
+func TestExtendedAddsFusedFamily(t *testing.T) {
+	ext := Extended()
+	if len(ext) != 12 {
+		t.Fatalf("Extended() returned %d variants, want 12 (8 paper + 4 fused)", len(ext))
+	}
+	seen := map[string]bool{}
+	fused := 0
+	for _, v := range ext {
+		if seen[v.ID()] {
+			t.Fatalf("duplicate variant %s", v.ID())
+		}
+		seen[v.ID()] = true
+		if v.Fused {
+			fused++
+			if v.Register {
+				t.Fatalf("%s: fused variants must not set Register (subsumed)", v.ID())
+			}
+		}
+	}
+	if fused != 4 {
+		t.Fatalf("Extended() has %d fused variants, want 4", fused)
+	}
+	if !seen["tb+fus"] || !seen["tb+loc+vec+fus"] {
+		t.Fatal("missing bare-fused or fully-combined fused variant")
+	}
+}
+
 func TestLadderMatchesFig6(t *testing.T) {
 	l := Ladder()
 	want := []string{"tb", "tb+loc", "tb+reg+loc", "tb+reg+loc+vec"}
@@ -43,11 +70,15 @@ func TestStringNames(t *testing.T) {
 	if v.String() != "thread batching+local memory+register+vector" {
 		t.Fatalf("full name = %q", v.String())
 	}
+	f := Options{Local: true, Fused: true}
+	if f.String() != "thread batching+local memory+fused" {
+		t.Fatalf("fused name = %q", f.String())
+	}
 }
 
 func TestParseIDRoundTrip(t *testing.T) {
-	f := func(reg, loc, vec bool) bool {
-		v := Options{Register: reg, Local: loc, Vector: vec}
+	f := func(reg, loc, vec, fus bool) bool {
+		v := Options{Register: reg, Local: loc, Vector: vec, Fused: fus}
 		got, err := ParseID(v.ID())
 		return err == nil && got == v
 	}
