@@ -6,7 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
-	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/host"
@@ -57,8 +57,10 @@ type BenchCapture struct {
 
 // CaptureHostBench trains the host solver under every variant on the MVLE
 // preset at the given bench scale (paper configuration: k=10, 5 iterations)
-// and returns the measurements. Each variant is timed via testing.Benchmark
-// and its steady-state row-update allocation count is recorded.
+// and returns the measurements. Each variant is timed over repeated Train
+// runs (one warm-up, then at least benchMinTime of measured runs, as
+// testing.Benchmark would) and its steady-state row-update allocation count
+// is recorded.
 func CaptureHostBench(s Settings, scale float64) (*BenchCapture, error) {
 	if scale <= 0 {
 		scale = 0.01
@@ -79,21 +81,29 @@ func CaptureHostBench(s Settings, scale float64) (*BenchCapture, error) {
 	}
 
 	measure := func(name string, cfg host.Config) (BenchEntry, error) {
-		var trainErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := host.Train(mx, cfg); err != nil {
-					trainErr = err
-					b.FailNow()
-				}
+		// One unmeasured warm-up run, then accumulate measured runs until
+		// benchMinTime has elapsed — the same shape as testing.Benchmark,
+		// done by hand so the testing package stays out of the alsbench and
+		// alstrain binaries.
+		const benchMinTime = time.Second
+		if _, err := host.Train(mx, cfg); err != nil {
+			return BenchEntry{}, fmt.Errorf("benchcapture %s: %w", name, err)
+		}
+		var (
+			runs    int
+			elapsed time.Duration
+		)
+		for elapsed < benchMinTime {
+			start := time.Now()
+			if _, err := host.Train(mx, cfg); err != nil {
+				return BenchEntry{}, fmt.Errorf("benchcapture %s: %w", name, err)
 			}
-		})
-		if trainErr != nil {
-			return BenchEntry{}, fmt.Errorf("benchcapture %s: %w", name, trainErr)
+			elapsed += time.Since(start)
+			runs++
 		}
 		return BenchEntry{
 			Variant:       name,
-			SecondsPerRun: r.T.Seconds() / float64(r.N),
+			SecondsPerRun: elapsed.Seconds() / float64(runs),
 			AllocsPerRow:  host.RowUpdateAllocs(mx, cfg),
 		}, nil
 	}

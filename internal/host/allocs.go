@@ -1,17 +1,19 @@
 package host
 
 import (
-	"testing"
+	"runtime"
 
 	"repro/internal/linalg"
 	"repro/internal/sparse"
 )
 
 // RowUpdateAllocs measures the average heap allocations one steady-state row
-// update performs under cfg, via testing.AllocsPerRun. The worker scratch is
-// warmed by a full pass over the rows first, exactly as a pool worker's
-// scratch is after its first chunk; the package tests and the bench capture
-// assert the result is zero for every variant.
+// update performs under cfg. The worker scratch is warmed by a full pass over
+// the rows first, exactly as a pool worker's scratch is after its first
+// chunk; the package tests and the bench capture assert the result is zero
+// for every variant. The count comes from runtime.ReadMemStats (the same
+// mechanism as testing.AllocsPerRun) so non-test binaries can call this
+// without linking the testing framework.
 func RowUpdateAllocs(mx *sparse.Matrix, cfg Config) float64 {
 	m := mx.Rows()
 	cfg.setDefaults(m, mx.NNZ())
@@ -24,11 +26,27 @@ func RowUpdateAllocs(mx *sparse.Matrix, cfg Config) float64 {
 		}
 	}
 	u := 0
-	return testing.AllocsPerRun(200, func() {
+	return allocsPerRun(200, func() {
 		_ = updateRow(mx.R, y, x, u, cfg, ws)
 		u++
 		if u == m {
 			u = 0
 		}
 	})
+}
+
+// allocsPerRun returns the average number of heap allocations per call to f,
+// mirroring testing.AllocsPerRun: the runtime is pinned to one proc so
+// background goroutines can't pollute the malloc counters, f runs once to
+// warm caches, and the Mallocs delta over runs calls is averaged.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
 }

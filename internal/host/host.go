@@ -288,7 +288,7 @@ func newWorkerPool(cfg Config) *workerPool {
 	p := &workerPool{cfg: cfg, workers: cfg.Workers, jobs: make(chan *halfJob, cfg.Workers)}
 	p.wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		go p.run(w)
+		go p.run()
 	}
 	return p
 }
@@ -312,25 +312,36 @@ func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []in
 	return nil
 }
 
-func (p *workerPool) run(w int) {
+func (p *workerPool) run() {
 	defer p.wg.Done()
 	ws := newWorkerState(p.cfg.K)
 	for job := range p.jobs {
-		p.work(w, job, ws)
+		p.work(job, ws)
 		job.wg.Done()
 	}
 }
 
-func (p *workerPool) work(w int, job *halfJob, ws *workerState) {
+func (p *workerPool) work(job *halfJob, ws *workerState) {
 	m := job.r.NumRows
 	if p.cfg.Flat {
-		// Static contiguous blocks: worker w owns [w·m/W, (w+1)·m/W).
-		lo := w * m / p.workers
-		hi := (w + 1) * m / p.workers
-		for u := lo; u < hi; u++ {
-			if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
-				job.err.CompareAndSwap(nil, err)
+		// Static contiguous blocks [b·m/W, (b+1)·m/W), claimed by index from
+		// the shared cursor. Claiming (rather than keying blocks off the
+		// worker id) keeps the work idempotent across however the broadcast
+		// job copies land on workers: the channel does not guarantee one copy
+		// per worker, and a block tied to a starved worker's id would be
+		// silently skipped.
+		for job.err.Load() == nil {
+			blk := int(job.cursor.Add(1)) - 1
+			if blk >= p.workers {
 				return
+			}
+			lo := blk * m / p.workers
+			hi := (blk + 1) * m / p.workers
+			for u := lo; u < hi; u++ {
+				if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
+					job.err.CompareAndSwap(nil, err)
+					return
+				}
 			}
 		}
 		return

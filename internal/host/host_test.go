@@ -88,16 +88,26 @@ func TestVariantsEquivalent(t *testing.T) {
 }
 
 // TestWorkerCountInvariance: row updates are independent, so results must
-// not depend on parallelism or chunking.
+// not depend on parallelism or chunking. Flat mode is included because its
+// static blocks are broadcast to the pool and must each be processed exactly
+// once no matter how the job copies land on workers.
 func TestWorkerCountInvariance(t *testing.T) {
 	mx := smallDataset(t, 4)
-	for _, v := range []variant.Options{
-		{Register: true, Local: true},
-		{Fused: true, Local: true, Vector: true},
-	} {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flat", Config{K: 6, Lambda: 0.1, Iterations: 2, Seed: 9, Flat: true}},
+		{"tb+reg+loc", Config{K: 6, Lambda: 0.1, Iterations: 2, Seed: 9,
+			Variant: variant.Options{Register: true, Local: true}}},
+		{"tb+fus+loc+vec", Config{K: 6, Lambda: 0.1, Iterations: 2, Seed: 9,
+			Variant: variant.Options{Fused: true, Local: true, Vector: true}}},
+	}
+	for _, tc := range cases {
 		var ref *Result
-		for _, workers := range []int{1, 2, 7, 32} {
-			cfg := Config{K: 6, Lambda: 0.1, Iterations: 2, Seed: 9, Workers: workers, Variant: v}
+		for _, workers := range []int{1, 2, 7, 16, 32} {
+			cfg := tc.cfg
+			cfg.Workers = workers
 			res, err := Train(mx, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -107,10 +117,10 @@ func TestWorkerCountInvariance(t *testing.T) {
 				continue
 			}
 			if d := linalg.MaxAbsDiff(ref.X, res.X); d != 0 {
-				t.Fatalf("%s workers=%d: X differs by %g from single-worker run", v.ID(), workers, d)
+				t.Fatalf("%s workers=%d: X differs by %g from single-worker run", tc.name, workers, d)
 			}
 			if d := linalg.MaxAbsDiff(ref.Y, res.Y); d != 0 {
-				t.Fatalf("%s workers=%d: Y differs by %g", v.ID(), workers, d)
+				t.Fatalf("%s workers=%d: Y differs by %g", tc.name, workers, d)
 			}
 		}
 	}
