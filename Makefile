@@ -17,8 +17,10 @@ test-short:
 	$(GO) test -short ./...
 
 # The full gate: formatting, static checks, build, the race-enabled short
-# test suite (includes the serving layer's hot-swap stress test), and a
-# one-shot bench smoke so benchmark code cannot rot unnoticed.
+# test suite (includes the serving layer's hot-swap stress test), a full
+# race pass over the concurrency-heavy packages (worker pool, hot-swap,
+# checkpoint watcher — these exercise goroutines the -short lane trims),
+# and a one-shot bench smoke so benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -27,6 +29,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/checkpoint ./internal/core ./internal/host ./internal/serve
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 bench:

@@ -1,6 +1,9 @@
 // alsserve serves top-N and fold-in recommendations from a model trained by
 // alstrain, with atomic hot-swap (POST /admin/swap) so retraining and
-// serving compose without downtime. Endpoints:
+// serving compose without downtime. With -watch it follows a training
+// run's checkpoint directory (alstrain -checkpoint-dir) and hot-swaps each
+// new checkpoint in as it lands, rejecting corrupt or torn files while the
+// previous snapshot keeps serving. Endpoints:
 //
 //	GET  /v1/recommend?user=U&n=N   top-N unrated items for a known user
 //	POST /v1/foldin                 fold a cold-start user's ratings in, top-N
@@ -21,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/serve"
 )
 
@@ -35,32 +39,63 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
 	cacheSize := flag.Int("cache", 1024, "response cache entries (negative disables)")
 	maxN := flag.Int("max-n", 100, "largest accepted n per request")
+	watch := flag.String("watch", "", "checkpoint directory to follow: the newest valid checkpoint is hot-swapped in as training writes it (-model becomes optional)")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll period for -watch")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "alsserve:", err)
 		os.Exit(1)
 	}
-	if *modelPath == "" {
-		fail(fmt.Errorf("need -model"))
+	if *modelPath == "" && *watch == "" {
+		fail(fmt.Errorf("need -model or -watch"))
 	}
 
-	m, rated, err := serve.LoadSnapshotFiles(*modelPath, *ratings, *oneBased)
-	if err != nil {
-		fail(err)
-	}
 	srv := serve.New(serve.Config{
 		Workers: *workers, Queue: *queue, Timeout: *timeout,
 		CacheSize: *cacheSize, MaxN: *maxN,
 	})
 	defer srv.Close()
-	sn := srv.Swap(m, rated, *version)
-	fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d\n",
-		sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K)
+	if *modelPath != "" {
+		m, rated, err := serve.LoadSnapshotFiles(*modelPath, *ratings, *oneBased)
+		if err != nil {
+			fail(err)
+		}
+		sn := srv.Swap(m, rated, *version)
+		fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d\n",
+			sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *watch != "" {
+		wcfg := serve.WatcherConfig{
+			Dir: *watch, Interval: *watchInterval,
+			OnSwap: func(sn *serve.Snapshot) {
+				fmt.Printf("alsserve: swapped in %s (seq %d) from %s\n", sn.Version, sn.Seq, *watch)
+			},
+			OnReject: func(path string, err error) {
+				fmt.Fprintf(os.Stderr, "alsserve: rejected checkpoint %s: %v\n", path, err)
+			},
+		}
+		if *watch != "" && *ratings != "" && *modelPath == "" {
+			// Rated-item exclusion for watched checkpoints: checkpoints carry
+			// dense indices, so load the ratings densely too.
+			ds, err := dataset.Load(*ratings, *oneBased)
+			if err != nil {
+				fail(err)
+			}
+			wcfg.Rated = ds.Matrix.R
+		}
+		w := serve.NewWatcher(srv, wcfg)
+		if _, err := w.Poll(); err != nil {
+			fail(err)
+		}
+		go w.Run(ctx)
+		fmt.Printf("alsserve: watching %s every %s\n", *watch, *watchInterval)
+	}
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	fmt.Printf("alsserve: listening on %s\n", *addr)

@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime/pprof"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/variant"
@@ -32,6 +33,10 @@ func main() {
 	out := flag.String("out", "", "write the trained model to this file")
 	version := flag.String("version", "", "version label stored in the model's metadata (shown by alsserve)")
 	weighted := flag.Bool("weighted-lambda", false, "use the ALS-WR convention lambda*|Omega|*I")
+	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe training checkpoints into this directory")
+	ckptEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoints")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "newest checkpoints to retain (older ones are garbage-collected)")
+	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (fresh start when none exists)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -114,6 +119,8 @@ func main() {
 		K: *k, Lambda: float32(*lambda), Iterations: *iters, Seed: *seed,
 		Platform: *platform, AutoVariant: *auto, UseRecommended: *variantID == "",
 		WeightedLambda: *weighted,
+		CheckpointDir:  *ckptDir, CheckpointEvery: *ckptEvery,
+		CheckpointKeep: *ckptKeep, Resume: *resume,
 	}
 	if *variantID != "" {
 		v, err := variant.ParseID(*variantID)
@@ -131,6 +138,9 @@ func main() {
 	if *version != "" {
 		model.Meta.Version = *version
 	}
+	if info.ResumedFrom > 0 {
+		fmt.Printf("resumed from checkpoint at iteration %d\n", info.ResumedFrom)
+	}
 	kindLabel := "wall-clock"
 	if info.Simulated {
 		kindLabel = "simulated"
@@ -146,15 +156,9 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		if err := model.Save(f); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic (temp + fsync + rename) so a crash mid-save cannot leave a
+		// torn model file for alsserve to pick up.
+		if err := checkpoint.WriteFileAtomic(checkpoint.OS, *out, model.Save); err != nil {
 			fail(err)
 		}
 		fmt.Printf("model written to %s\n", *out)

@@ -1,0 +1,438 @@
+// Package checkpoint makes long ALS training runs crash-safe: it
+// persists both factor matrices plus the training state (iteration,
+// hyperparameters, RNG seed, loss history) in a versioned, CRC-protected
+// binary format, written atomically (temp file + fsync + rename + dir
+// fsync) so a kill at any byte leaves either the previous checkpoint or
+// the new one — never a torn file. Load verifies the checksum, Latest
+// picks the newest checkpoint that actually decodes (falling back past
+// torn or corrupt files), and GC bounds the directory to the last N.
+//
+// The package doubles as the repo's fault-injection harness: every
+// filesystem touch goes through the FS interface, and MemFS implements it
+// with a durability model (volatile vs fsynced bytes) plus deterministic
+// fault hooks — die at byte N, torn rename, short write, fsync failure —
+// that the checkpoint, serving-watcher, and future distributed tests
+// drive without sleeps or real crashes.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/linalg"
+)
+
+// Magic identifies a checkpoint file ("ALSK").
+const Magic = uint32(0x414C534B)
+
+// FormatVersion is bumped on any incompatible layout change; Load rejects
+// versions it does not know. The golden-file test pins version 1 byte for
+// byte.
+const FormatVersion = uint32(1)
+
+const (
+	maxVariantLen = 256
+	maxHistory    = 1 << 16
+	// maxFloats mirrors core.LoadModel's allocation guard: the largest
+	// plausible factor matrix is ~2G floats.
+	maxFloats = int64(1) << 32
+)
+
+// ErrNoCheckpoint is returned by Latest/LoadLatest when the directory
+// holds no valid checkpoint (including when it does not exist yet).
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// State is everything needed to resume training exactly where it stopped:
+// the factor pair after Iteration completed full ALS iterations, the run's
+// hyperparameters and seed (so a resume can refuse a mismatched
+// configuration), and the loss history accumulated so far.
+type State struct {
+	Iteration      int     // completed full ALS iterations
+	K              int     // latent dimensionality
+	Lambda         float32 // regularization
+	WeightedLambda bool    // ALS-WR λ|Ω|I convention
+	Seed           int64   // initial-guess RNG seed
+	Variant        string  // code-variant ID the run used (e.g. "tb+vec+fus")
+
+	X, Y *linalg.Dense // user (m×k) and item (n×k) factors
+
+	History []host.IterStats // per-half-iteration loss when tracked
+}
+
+// FileName returns the canonical file name for a checkpoint at the given
+// iteration; lexicographic order equals iteration order.
+func FileName(iteration int) string {
+	return fmt.Sprintf("ckpt-%08d.alsck", iteration)
+}
+
+// ParseFileName extracts the iteration from a canonical checkpoint file
+// name, reporting false for anything else (temp files, foreign files).
+func ParseFileName(name string) (int, bool) {
+	var it int
+	if _, err := fmt.Sscanf(name, "ckpt-%d.alsck", &it); err != nil {
+		return 0, false
+	}
+	if name != FileName(it) || it < 0 {
+		return 0, false
+	}
+	return it, true
+}
+
+func (st *State) validate() error {
+	if st.X == nil || st.Y == nil {
+		return fmt.Errorf("checkpoint: state has nil factors")
+	}
+	if st.K <= 0 || st.X.Cols != st.K || st.Y.Cols != st.K {
+		return fmt.Errorf("checkpoint: factor widths (%d,%d) do not match k=%d",
+			st.X.Cols, st.Y.Cols, st.K)
+	}
+	if st.Iteration < 0 {
+		return fmt.Errorf("checkpoint: negative iteration %d", st.Iteration)
+	}
+	if len(st.Variant) > maxVariantLen {
+		return fmt.Errorf("checkpoint: variant label longer than %d bytes", maxVariantLen)
+	}
+	if len(st.History) > maxHistory {
+		return fmt.Errorf("checkpoint: history longer than %d entries", maxHistory)
+	}
+	return nil
+}
+
+// crcWriter checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// crcReader checksums everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// Encode writes st in the on-disk format: a little-endian header (magic,
+// format version, dims, training state), the variant label and history,
+// both factor matrices, and a trailing CRC-32C over every preceding byte.
+func Encode(w io.Writer, st *State) error {
+	if err := st.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &crcWriter{w: bw}
+	hdr := []uint64{
+		uint64(Magic), uint64(FormatVersion),
+		uint64(st.K), uint64(st.X.Rows), uint64(st.Y.Rows),
+		uint64(st.Iteration), uint64(st.Seed),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, st.Lambda); err != nil {
+		return err
+	}
+	var weighted uint8
+	if st.WeightedLambda {
+		weighted = 1
+	}
+	if err := binary.Write(cw, binary.LittleEndian, weighted); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint16(len(st.Variant))); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte(st.Variant)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(st.History))); err != nil {
+		return err
+	}
+	for _, h := range st.History {
+		var half uint8
+		if h.Half == "Y" {
+			half = 1
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint32(h.Iteration)); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, half); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(h.Loss)); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint64(h.Elapsed)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, st.X.Data); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, st.Y.Data); err != nil {
+		return err
+	}
+	// The trailer is written outside the CRC writer.
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads a checkpoint written by Encode, verifying format version,
+// dimension plausibility and the CRC. It returns an error — never panics,
+// never allocates unboundedly — on arbitrary corrupt input (the fuzz test
+// holds it to that).
+func Decode(r io.Reader) (*State, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
+	var hdr [7]uint64
+	for i := range hdr {
+		if err := binary.Read(cr, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading header: %w", err)
+		}
+	}
+	if uint32(hdr[0]) != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", hdr[0])
+	}
+	if v := uint32(hdr[1]); v != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d)", v, FormatVersion)
+	}
+	k, m, n := int64(hdr[2]), int64(hdr[3]), int64(hdr[4])
+	// Division, not multiplication: m*k on attacker-controlled dims can
+	// overflow int64 and wrap past the bound (the fuzzer found exactly
+	// that).
+	if k <= 0 || m < 0 || n < 0 || k > 1<<20 || m > maxFloats/k || n > maxFloats/k {
+		return nil, fmt.Errorf("checkpoint: implausible dims k=%d m=%d n=%d", k, m, n)
+	}
+	if hdr[5] > 1<<32 {
+		return nil, fmt.Errorf("checkpoint: implausible iteration %d", hdr[5])
+	}
+	st := &State{
+		K:         int(k),
+		Iteration: int(hdr[5]),
+		Seed:      int64(hdr[6]),
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &st.Lambda); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading lambda: %w", err)
+	}
+	var weighted uint8
+	if err := binary.Read(cr, binary.LittleEndian, &weighted); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading lambda convention: %w", err)
+	}
+	if weighted > 1 {
+		return nil, fmt.Errorf("checkpoint: invalid lambda convention %d", weighted)
+	}
+	st.WeightedLambda = weighted == 1
+	var vlen uint16
+	if err := binary.Read(cr, binary.LittleEndian, &vlen); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading variant length: %w", err)
+	}
+	if vlen > maxVariantLen {
+		return nil, fmt.Errorf("checkpoint: implausible variant length %d", vlen)
+	}
+	vbuf := make([]byte, vlen)
+	if _, err := io.ReadFull(cr, vbuf); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading variant: %w", err)
+	}
+	st.Variant = string(vbuf)
+	var histLen uint32
+	if err := binary.Read(cr, binary.LittleEndian, &histLen); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading history length: %w", err)
+	}
+	if histLen > maxHistory {
+		return nil, fmt.Errorf("checkpoint: implausible history length %d", histLen)
+	}
+	if histLen > 0 {
+		st.History = make([]host.IterStats, histLen)
+		for i := range st.History {
+			var it uint32
+			var half uint8
+			var loss, elapsed uint64
+			if err := binary.Read(cr, binary.LittleEndian, &it); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading history: %w", err)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &half); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading history: %w", err)
+			}
+			if half > 1 {
+				return nil, fmt.Errorf("checkpoint: invalid history half %d", half)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &loss); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading history: %w", err)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &elapsed); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading history: %w", err)
+			}
+			h := &st.History[i]
+			h.Iteration = int(it)
+			h.Half = "X"
+			if half == 1 {
+				h.Half = "Y"
+			}
+			h.Loss = math.Float64frombits(loss)
+			h.Elapsed = time.Duration(elapsed)
+		}
+	}
+	st.X = linalg.NewDense(int(m), int(k))
+	st.Y = linalg.NewDense(int(n), int(k))
+	if err := binary.Read(cr, binary.LittleEndian, &st.X.Data); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading X: %w", err)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &st.Y.Data); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading Y: %w", err)
+	}
+	sum := cr.crc
+	var stored uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (stored %#x, computed %#x)", stored, sum)
+	}
+	return st, nil
+}
+
+// Save atomically writes st into dir as ckpt-<iteration>.alsck and
+// returns the final path. The write order (temp file, fsync, rename,
+// directory fsync) guarantees that a crash at any point leaves the
+// previous checkpoints untouched and never exposes a half-written file
+// under a valid name.
+func Save(fsys FS, dir string, st *State) (string, error) {
+	if err := st.validate(); err != nil {
+		return "", err
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(st.Iteration))
+	if err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		return Encode(w, st)
+	}); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and verifies one checkpoint file.
+func Load(fsys FS, path string) (*State, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return st, nil
+}
+
+// list returns the canonical checkpoint entries of dir sorted by
+// descending iteration. A missing directory is an empty listing.
+func list(fsys FS, dir string) ([]string, []int, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil
+	}
+	type entry struct {
+		name string
+		iter int
+	}
+	var entries []entry
+	for _, name := range names {
+		if it, ok := ParseFileName(name); ok {
+			entries = append(entries, entry{name, it})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].iter > entries[j].iter })
+	ns := make([]string, len(entries))
+	its := make([]int, len(entries))
+	for i, e := range entries {
+		ns[i], its[i] = e.name, e.iter
+	}
+	return ns, its, nil
+}
+
+// Latest returns the path and iteration of the newest checkpoint in dir
+// that decodes cleanly, skipping over torn or corrupt files (a crashed
+// writer can leave the highest-numbered file unreadable; recovery must
+// fall back to the previous good one). ErrNoCheckpoint when none qualify.
+func Latest(fsys FS, dir string) (string, int, error) {
+	names, iters, err := list(fsys, dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		if _, err := Load(fsys, path); err == nil {
+			return path, iters[i], nil
+		}
+	}
+	return "", 0, ErrNoCheckpoint
+}
+
+// LoadLatest loads the newest valid checkpoint in dir (see Latest).
+func LoadLatest(fsys FS, dir string) (*State, string, error) {
+	path, _, err := Latest(fsys, dir)
+	if err != nil {
+		return nil, "", err
+	}
+	st, err := Load(fsys, path)
+	if err != nil {
+		return nil, "", err
+	}
+	return st, path, nil
+}
+
+// GC bounds dir to the newest keep checkpoints (by iteration number) and
+// removes abandoned temp files from interrupted writes. keep < 1 keeps 1.
+func GC(fsys FS, dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var firstErr error
+	for _, name := range names {
+		if len(name) > len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	ckpts, _, err := list(fsys, dir)
+	if err != nil {
+		return firstErr
+	}
+	for _, name := range ckpts[min(keep, len(ckpts)):] {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,245 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/linalg"
+)
+
+// testState builds a small deterministic State; the seed offsets the float
+// patterns so different checkpoints are distinguishable.
+func testState(iter int, seed float32) *State {
+	const k, m, n = 3, 4, 5
+	x := linalg.NewDense(m, k)
+	y := linalg.NewDense(n, k)
+	for i := range x.Data {
+		x.Data[i] = seed + float32(i)*0.25
+	}
+	for i := range y.Data {
+		y.Data[i] = -seed + float32(i)*0.5
+	}
+	return &State{
+		Iteration: iter, K: k, Lambda: 0.1, WeightedLambda: iter%2 == 1,
+		Seed: 2017, Variant: "tb+vec+fus", X: x, Y: y,
+		History: []host.IterStats{
+			{Iteration: 1, Half: "X", Loss: 12.5, Elapsed: 3 * time.Millisecond},
+			{Iteration: 1, Half: "Y", Loss: 11.25, Elapsed: 7 * time.Millisecond},
+		},
+	}
+}
+
+func statesEqual(t *testing.T, want, got *State) {
+	t.Helper()
+	if got.Iteration != want.Iteration || got.K != want.K ||
+		got.Lambda != want.Lambda || got.WeightedLambda != want.WeightedLambda ||
+		got.Seed != want.Seed || got.Variant != want.Variant {
+		t.Fatalf("scalar state mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+	if d := linalg.MaxAbsDiff(want.X, got.X); d != 0 {
+		t.Fatalf("X differs by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(want.Y, got.Y); d != 0 {
+		t.Fatalf("Y differs by %g", d)
+	}
+	if !reflect.DeepEqual(want.History, got.History) {
+		t.Fatalf("history mismatch:\nwant %+v\ngot  %+v", want.History, got.History)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := testState(7, 1.5)
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, st, got)
+}
+
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	st := testState(3, 0.25)
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	// Flip one bit at a spread of offsets; every flip must be rejected
+	// (header checks or the CRC trailer), never silently accepted.
+	for off := 0; off < len(enc); off += 17 {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", off)
+		}
+	}
+	// Truncations at every length must error too.
+	for cut := 0; cut < len(enc); cut += 13 {
+		if _, err := Decode(bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSaveLoadLatestGC(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fsys FS
+		dir  string
+	}{
+		{"memfs", NewMemFS(), "ckpts"},
+		{"osfs", OS, filepath.Join(t.TempDir(), "ckpts")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Latest(tc.fsys, tc.dir); !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("Latest on empty dir = %v, want ErrNoCheckpoint", err)
+			}
+			var states []*State
+			for it := 1; it <= 5; it++ {
+				st := testState(it, float32(it))
+				states = append(states, st)
+				if _, err := Save(tc.fsys, tc.dir, st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			path, iter, err := Latest(tc.fsys, tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iter != 5 || filepath.Base(path) != FileName(5) {
+				t.Fatalf("Latest = %s iter %d, want %s iter 5", path, iter, FileName(5))
+			}
+			got, _, err := LoadLatest(tc.fsys, tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			statesEqual(t, states[4], got)
+
+			if err := GC(tc.fsys, tc.dir, 2); err != nil {
+				t.Fatal(err)
+			}
+			names, err := tc.fsys.ReadDir(tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 2 || names[0] != FileName(4) || names[1] != FileName(5) {
+				t.Fatalf("after GC keep 2: %v", names)
+			}
+		})
+	}
+}
+
+func TestLatestSkipsCorruptNewest(t *testing.T) {
+	fsys := NewMemFS()
+	good := testState(2, 1)
+	if _, err := Save(fsys, "ckpts", good); err != nil {
+		t.Fatal(err)
+	}
+	// A higher-numbered file full of garbage must be skipped, not returned
+	// and not fatal.
+	fsys.WriteFile(filepath.Join("ckpts", FileName(9)), []byte("not a checkpoint at all"))
+	st, path, err := LoadLatest(fsys, "ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(2) {
+		t.Fatalf("LoadLatest picked %s, want fallback to %s", path, FileName(2))
+	}
+	statesEqual(t, good, st)
+}
+
+func TestGCRemovesTempFiles(t *testing.T) {
+	fsys := NewMemFS()
+	if _, err := Save(fsys, "ckpts", testState(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fsys.WriteFile(filepath.Join("ckpts", tmpPrefix+FileName(2)), []byte("abandoned partial write"))
+	if err := GC(fsys, "ckpts", 3); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.ReadDir("ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != FileName(1) {
+		t.Fatalf("after GC: %v, want only %s", names, FileName(1))
+	}
+}
+
+func TestParseFileName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		iter int
+		ok   bool
+	}{
+		{FileName(0), 0, true},
+		{FileName(12), 12, true},
+		{FileName(99999999), 99999999, true},
+		{"ckpt-12.alsck", 0, false}, // not zero-padded
+		{tmpPrefix + FileName(3), 0, false},
+		{"model.bin", 0, false},
+		{"ckpt--0000001.alsck", 0, false},
+	} {
+		it, ok := ParseFileName(tc.name)
+		if ok != tc.ok || (ok && it != tc.iter) {
+			t.Errorf("ParseFileName(%q) = (%d,%v), want (%d,%v)", tc.name, it, ok, tc.iter, tc.ok)
+		}
+	}
+}
+
+func TestEncodeValidatesState(t *testing.T) {
+	var buf bytes.Buffer
+	bad := testState(1, 1)
+	bad.X = nil
+	if err := Encode(&buf, bad); err == nil {
+		t.Fatal("nil factors accepted")
+	}
+	bad = testState(1, 1)
+	bad.K = 2 // mismatched with 3-wide factors
+	if err := Encode(&buf, bad); err == nil {
+		t.Fatal("mismatched k accepted")
+	}
+	bad = testState(1, 1)
+	bad.Iteration = -1
+	if err := Encode(&buf, bad); err == nil {
+		t.Fatal("negative iteration accepted")
+	}
+}
+
+func TestWriteFileAtomicReplacesOnlyOnSuccess(t *testing.T) {
+	fsys := NewMemFS()
+	fsys.MkdirAll("d")
+	path := filepath.Join("d", "model.bin")
+	if err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("version-1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing rewrite must leave the original untouched and no temp file.
+	fsys.SetFaults(Faults{FailWriteAfter: fsys.BytesWritten() + 3})
+	err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("version-2"))
+		return err
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	got, ok := fsys.ReadFile(path)
+	if !ok || string(got) != "version-1" {
+		t.Fatalf("file = %q,%v; want intact version-1", got, ok)
+	}
+	names, _ := fsys.ReadDir("d")
+	if len(names) != 1 {
+		t.Fatalf("leftover entries: %v", names)
+	}
+}

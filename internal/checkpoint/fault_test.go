@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// encodedLen measures the exact on-disk size of a state.
+func encodedLen(t *testing.T, st *State) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	return int64(buf.Len())
+}
+
+// TestCrashAtEveryByte is the acceptance sweep: for every byte offset N of
+// the second checkpoint's write, die at exactly N (short write at the
+// boundary, everything after lost), then recover. Recovery must always
+// find the first checkpoint bit-exact — the torn temp file must never be
+// visible under a valid name, before or after the simulated power loss.
+func TestCrashAtEveryByte(t *testing.T) {
+	first := testState(1, 1)
+	second := testState(2, 2)
+	size := encodedLen(t, second)
+	// A budget of exactly size is not a crash: the write fits, Save must
+	// succeed and the new checkpoint must be recoverable.
+	{
+		fsys := NewMemFS()
+		if _, err := Save(fsys, "ckpts", first); err != nil {
+			t.Fatal(err)
+		}
+		fsys.SetFaults(Faults{FailWriteAfter: fsys.BytesWritten() + size})
+		if _, err := Save(fsys, "ckpts", second); err != nil {
+			t.Fatalf("exact-budget Save failed: %v", err)
+		}
+		st, _, err := LoadLatest(fsys, "ckpts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		statesEqual(t, second, st)
+	}
+	for n := int64(1); n < size; n++ {
+		fsys := NewMemFS()
+		if _, err := Save(fsys, "ckpts", first); err != nil {
+			t.Fatal(err)
+		}
+		base := fsys.BytesWritten()
+		fsys.SetFaults(Faults{FailWriteAfter: base + n})
+		if _, err := Save(fsys, "ckpts", second); !errors.Is(err, ErrInjected) {
+			t.Fatalf("crash at byte %d: Save err = %v, want injected fault", n, err)
+		}
+		// Before the crash: the partial write must be invisible to recovery.
+		st, path, err := LoadLatest(fsys, "ckpts")
+		if err != nil || filepath.Base(path) != FileName(1) {
+			t.Fatalf("crash at byte %d: recovery = %s, %v", n, path, err)
+		}
+		statesEqual(t, first, st)
+		// After power loss: only durable bytes survive; same recovery.
+		fsys.Crash()
+		st, path, err = LoadLatest(fsys, "ckpts")
+		if err != nil || filepath.Base(path) != FileName(1) {
+			t.Fatalf("crash at byte %d after power loss: recovery = %s, %v", n, path, err)
+		}
+		statesEqual(t, first, st)
+	}
+}
+
+// TestSaveSurvivesPowerLoss asserts the durability ordering of Save (data
+// fsync before rename): a crash immediately after a successful Save must
+// leave the full checkpoint durable. Deleting the Sync call from
+// WriteFileAtomic makes this fail.
+func TestSaveSurvivesPowerLoss(t *testing.T) {
+	fsys := NewMemFS()
+	st := testState(4, 3)
+	if _, err := Save(fsys, "ckpts", st); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash()
+	got, path, err := LoadLatest(fsys, "ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(4) {
+		t.Fatalf("recovered %s, want %s", path, FileName(4))
+	}
+	statesEqual(t, st, got)
+}
+
+// TestTornRename: a lying disk acks fsync without persisting, so the
+// commit rename lands while the data does not — after the crash the
+// checkpoint file exists but is empty (torn). The loader must reject it
+// and fall back to the previous checkpoint.
+func TestTornRename(t *testing.T) {
+	fsys := NewMemFS()
+	first := testState(1, 1)
+	if _, err := Save(fsys, "ckpts", first); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetFaults(Faults{SilentSyncLoss: true})
+	if _, err := Save(fsys, "ckpts", testState(2, 2)); err != nil {
+		t.Fatalf("Save with lying fsync should report success, got %v", err)
+	}
+	fsys.Crash()
+	// The iteration-2 file exists (rename was journaled) but is torn.
+	if b, ok := fsys.ReadFile(filepath.Join("ckpts", FileName(2))); !ok || len(b) != 0 {
+		t.Fatalf("torn file state = %d bytes, exists=%v; want empty file", len(b), ok)
+	}
+	st, path, err := LoadLatest(fsys, "ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(1) {
+		t.Fatalf("recovered %s, want fallback to %s", path, FileName(1))
+	}
+	statesEqual(t, first, st)
+}
+
+// TestFsyncFailureAborts: an fsync error must fail the Save (a checkpoint
+// that may not be durable is not a checkpoint) and must not replace the
+// previous file.
+func TestFsyncFailureAborts(t *testing.T) {
+	fsys := NewMemFS()
+	first := testState(1, 1)
+	if _, err := Save(fsys, "ckpts", first); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetFaults(Faults{FailSyncAt: 2}) // Save #1 consumed sync call 1
+	if _, err := Save(fsys, "ckpts", testState(2, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Save with failing fsync = %v, want injected fault", err)
+	}
+	st, path, err := LoadLatest(fsys, "ckpts")
+	if err != nil || filepath.Base(path) != FileName(1) {
+		t.Fatalf("recovery after fsync failure = %s, %v", path, err)
+	}
+	statesEqual(t, first, st)
+}
+
+// TestRenameFailureAborts: dying between the data fsync and the commit
+// rename leaves only a temp file; recovery ignores it and GC removes it.
+func TestRenameFailureAborts(t *testing.T) {
+	fsys := NewMemFS()
+	first := testState(1, 1)
+	if _, err := Save(fsys, "ckpts", first); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetFaults(Faults{FailRenameAt: 2})
+	if _, err := Save(fsys, "ckpts", testState(2, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatal("rename failure not surfaced")
+	}
+	fsys.SetFaults(Faults{})
+	st, path, err := LoadLatest(fsys, "ckpts")
+	if err != nil || filepath.Base(path) != FileName(1) {
+		t.Fatalf("recovery after rename failure = %s, %v", path, err)
+	}
+	statesEqual(t, first, st)
+	if err := GC(fsys, "ckpts", 3); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fsys.ReadDir("ckpts")
+	for _, n := range names {
+		if _, ok := ParseFileName(n); !ok {
+			t.Fatalf("temp residue survived GC: %v", names)
+		}
+	}
+}
+
+// TestShortWriteSemantics pins the MemFS short-write behaviour the sweep
+// relies on: the failing Write accepts exactly the bytes up to the budget
+// and reports the injected error.
+func TestShortWriteSemantics(t *testing.T) {
+	fsys := NewMemFS()
+	fsys.SetFaults(Faults{FailWriteAfter: 5})
+	f, err := fsys.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d,%v), want (5, injected)", n, err)
+	}
+	if n, err = f.Write([]byte("ab")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget Write = (%d,%v), want (0, injected)", n, err)
+	}
+	b, _ := fsys.ReadFile("x")
+	if string(b) != "01234" {
+		t.Fatalf("volatile content %q, want first 5 bytes", b)
+	}
+	// Nothing was synced, so power loss erases even the accepted bytes.
+	fsys.Crash()
+	if _, ok := fsys.ReadFile("x"); ok {
+		t.Fatal("unsynced file survived the crash")
+	}
+}

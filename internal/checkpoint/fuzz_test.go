@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCheckpoint: the checkpoint decoder must return errors — never
+// panic, never allocate unboundedly — on arbitrary input, and anything it
+// accepts must survive an encode/decode round trip. Seeded with a valid
+// checkpoint plus the corruption shapes crashes actually produce:
+// truncations and bit flips.
+func FuzzLoadCheckpoint(f *testing.F) {
+	st := testState(3, 1.25)
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])                         // truncated mid-payload
+	f.Add(valid[:57])                                   // truncated inside the header
+	f.Add(append([]byte(nil), valid[:len(valid)-1]...)) // missing CRC byte
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x01
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, st); err != nil {
+			t.Fatalf("accepted checkpoint failed to re-encode: %v", err)
+		}
+		if _, err := Decode(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/linalg"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden checkpoint file")
+
+// goldenState is a fixed small model: every byte of its encoding is
+// pinned by testdata/golden_v1.alsck. Changing the encoder in any way —
+// field order, widths, endianness, CRC — breaks this test instead of
+// silently breaking users' old checkpoints. A deliberate format change
+// must bump FormatVersion, regenerate with -update-golden, and keep (or
+// consciously drop) the ability to read the old version.
+func goldenState() *State {
+	const k, m, n = 2, 3, 2
+	x := linalg.NewDense(m, k)
+	y := linalg.NewDense(n, k)
+	for i := range x.Data {
+		x.Data[i] = float32(i)*0.5 - 1
+	}
+	for i := range y.Data {
+		y.Data[i] = 2 - float32(i)*0.25
+	}
+	return &State{
+		Iteration: 7, K: k, Lambda: 0.1, WeightedLambda: true, Seed: 42,
+		Variant: "tb+vec+fus", X: x, Y: y,
+		History: []host.IterStats{
+			{Iteration: 7, Half: "X", Loss: 3.5, Elapsed: 1500 * time.Microsecond},
+			{Iteration: 7, Half: "Y", Loss: 3.25, Elapsed: 2500 * time.Microsecond},
+		},
+	}
+}
+
+func TestGoldenCheckpointFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, goldenState()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_v1.alsck")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden after a deliberate format change)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < buf.Len() && want[i] == buf.Bytes()[i] {
+			i++
+		}
+		t.Fatalf("on-disk checkpoint format drifted: encoded %d bytes, golden %d bytes, first difference at offset %d.\n"+
+			"If the change is deliberate: bump FormatVersion and regenerate with -update-golden.",
+			buf.Len(), len(want), i)
+	}
+	// The golden bytes must also decode back to the golden state.
+	st, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, goldenState(), st)
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+	"repro/internal/variant"
+)
+
+func ckptMatrix(t testing.TB) *sparse.Matrix {
+	t.Helper()
+	return dataset.YahooR4.Scaled(0.015).Generate(11).Matrix
+}
+
+// TestResumeEquivalenceAllVariants is the crash-safety contract as a
+// property, extending the variant-equivalence suites: for every extended
+// variant, training to iteration i with checkpointing, then resuming from
+// the checkpoint and training to N, must produce factors bit-identical to
+// an uninterrupted N-iteration run. Every iteration is a pure function of
+// the current factors, so the checkpoint only has to restore them exactly.
+func TestResumeEquivalenceAllVariants(t *testing.T) {
+	mx := ckptMatrix(t)
+	const n = 3
+	for _, v := range variant.Extended() {
+		base := Config{K: 6, Lambda: 0.1, Iterations: n, Seed: 7, Variant: v}
+		straight, _, err := Train(mx, base)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		for _, stopAt := range []int{1, 2} {
+			fsys := checkpoint.NewMemFS()
+			partial := base
+			partial.Iterations = stopAt
+			partial.CheckpointDir = "ckpts"
+			partial.CheckpointFS = fsys
+			if _, _, err := Train(mx, partial); err != nil {
+				t.Fatalf("%s stop=%d: %v", v, stopAt, err)
+			}
+			resumedCfg := base
+			resumedCfg.CheckpointDir = "ckpts"
+			resumedCfg.CheckpointFS = fsys
+			resumedCfg.Resume = true
+			resumed, info, err := Train(mx, resumedCfg)
+			if err != nil {
+				t.Fatalf("%s resume=%d: %v", v, stopAt, err)
+			}
+			if info.ResumedFrom != stopAt {
+				t.Fatalf("%s: ResumedFrom = %d, want %d", v, info.ResumedFrom, stopAt)
+			}
+			if d := linalg.MaxAbsDiff(straight.X, resumed.X); d != 0 {
+				t.Errorf("%s resume at %d: X differs by %g from uninterrupted run", v, stopAt, d)
+			}
+			if d := linalg.MaxAbsDiff(straight.Y, resumed.Y); d != 0 {
+				t.Errorf("%s resume at %d: Y differs by %g from uninterrupted run", v, stopAt, d)
+			}
+		}
+	}
+}
+
+// TestResumeAfterInjectedCrash: a run whose checkpoint write dies at an
+// arbitrary byte must fail loudly, and rerunning the identical command
+// with Resume must recover from the surviving checkpoint and still reach
+// bit-identical factors.
+func TestResumeAfterInjectedCrash(t *testing.T) {
+	mx := ckptMatrix(t)
+	base := Config{K: 5, Lambda: 0.1, Iterations: 3, Seed: 3, UseRecommended: true}
+	straight, _, err := Train(mx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := checkpoint.NewMemFS()
+	crashed := base
+	crashed.CheckpointDir = "ckpts"
+	crashed.CheckpointFS = fsys
+	// Let checkpoint 1 land, then kill checkpoint 2 partway through.
+	probe := checkpoint.NewMemFS()
+	p := base
+	p.Iterations = 1
+	p.CheckpointDir = "ckpts"
+	p.CheckpointFS = probe
+	if _, _, err := Train(mx, p); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetFaults(checkpoint.Faults{FailWriteAfter: probe.BytesWritten() + probe.BytesWritten()/2})
+	if _, _, err := Train(mx, crashed); err == nil {
+		t.Fatal("training with a dying checkpoint writer reported success")
+	}
+	fsys.Crash()
+	fsys.SetFaults(checkpoint.Faults{})
+	rerun := base
+	rerun.CheckpointDir = "ckpts"
+	rerun.CheckpointFS = fsys
+	rerun.Resume = true
+	resumed, info, err := Train(mx, rerun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom != 1 {
+		t.Fatalf("ResumedFrom = %d, want 1 (the surviving checkpoint)", info.ResumedFrom)
+	}
+	if d := linalg.MaxAbsDiff(straight.X, resumed.X); d != 0 {
+		t.Fatalf("X differs by %g after crash-resume", d)
+	}
+	if d := linalg.MaxAbsDiff(straight.Y, resumed.Y); d != 0 {
+		t.Fatalf("Y differs by %g after crash-resume", d)
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: silently resuming under different
+// hyperparameters would converge to a different model under the same job
+// name.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	mx := ckptMatrix(t)
+	fsys := checkpoint.NewMemFS()
+	base := Config{K: 4, Lambda: 0.1, Iterations: 1, Seed: 5,
+		CheckpointDir: "ckpts", CheckpointFS: fsys}
+	if _, _, err := Train(mx, base); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"k":        func(c *Config) { c.K = 6 },
+		"lambda":   func(c *Config) { c.Lambda = 0.2 },
+		"seed":     func(c *Config) { c.Seed = 6 },
+		"weighted": func(c *Config) { c.WeightedLambda = true },
+		"variant":  func(c *Config) { c.Variant = variant.Options{Local: true} },
+	} {
+		cfg := base
+		cfg.Iterations = 2
+		cfg.Resume = true
+		mutate(&cfg)
+		if _, _, err := Train(mx, cfg); err == nil {
+			t.Errorf("resume with mismatched %s accepted", name)
+		}
+	}
+}
+
+// TestCheckpointEveryAndGC: the stride writes iterations every, 2·every, …
+// plus always the final one; GC bounds the directory.
+func TestCheckpointEveryAndGC(t *testing.T) {
+	mx := ckptMatrix(t)
+	fsys := checkpoint.NewMemFS()
+	cfg := Config{K: 4, Lambda: 0.1, Iterations: 5, Seed: 2,
+		CheckpointDir: "ckpts", CheckpointFS: fsys,
+		CheckpointEvery: 2, CheckpointKeep: 2}
+	if _, _, err := Train(mx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.ReadDir("ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Written: 2, 4, 5 (final); kept: newest 2.
+	want := []string{checkpoint.FileName(4), checkpoint.FileName(5)}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("checkpoint dir = %v, want %v", names, want)
+	}
+}
+
+// TestCheckpointHistoryCarriesAcrossResume: restored loss history plus the
+// resumed run's own history must read as one continuous run.
+func TestCheckpointHistoryCarriesAcrossResume(t *testing.T) {
+	mx := ckptMatrix(t)
+	fsys := checkpoint.NewMemFS()
+	base := Config{K: 4, Lambda: 0.1, Iterations: 2, Seed: 9, TrackLoss: true,
+		CheckpointDir: "ckpts", CheckpointFS: fsys}
+	if _, _, err := Train(mx, base); err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Iterations = 4
+	cfg.Resume = true
+	_, info, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.History) != 8 {
+		t.Fatalf("combined history has %d half-steps, want 8", len(info.History))
+	}
+	for i, h := range info.History {
+		if h.Iteration != i/2+1 {
+			t.Fatalf("history[%d] is iteration %d, want %d", i, h.Iteration, i/2+1)
+		}
+		if math.IsNaN(h.Loss) {
+			t.Fatalf("history[%d] loss is NaN", i)
+		}
+	}
+}
+
+// TestResumeOfCompletedRun: resuming a run whose checkpoint already
+// reached Iterations returns the checkpointed factors untouched.
+func TestResumeOfCompletedRun(t *testing.T) {
+	mx := ckptMatrix(t)
+	fsys := checkpoint.NewMemFS()
+	cfg := Config{K: 4, Lambda: 0.1, Iterations: 2, Seed: 13,
+		CheckpointDir: "ckpts", CheckpointFS: fsys}
+	first, _, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	again, info, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom != 2 {
+		t.Fatalf("ResumedFrom = %d, want 2", info.ResumedFrom)
+	}
+	if d := linalg.MaxAbsDiff(first.X, again.X); d != 0 {
+		t.Fatalf("completed-run resume changed X by %g", d)
+	}
+}
+
+// TestCheckpointConfigValidation: the flag combinations that cannot work
+// must fail fast.
+func TestCheckpointConfigValidation(t *testing.T) {
+	mx := ckptMatrix(t)
+	if _, _, err := Train(mx, Config{Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "CheckpointDir") {
+		t.Fatalf("Resume without dir = %v", err)
+	}
+	if _, _, err := Train(mx, Config{Platform: "GPU", CheckpointDir: "x",
+		CheckpointFS: checkpoint.NewMemFS()}); err == nil ||
+		!strings.Contains(err.Error(), "host") {
+		t.Fatalf("simulated-platform checkpointing = %v", err)
+	}
+	// The checkpoint dir path goes through t.TempDir for the real-FS
+	// default: CheckpointFS nil must hit the actual disk.
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	cfg := Config{K: 4, Lambda: 0.1, Iterations: 1, Seed: 1, CheckpointDir: dir}
+	if _, _, err := Train(mx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, it, err := checkpoint.Latest(checkpoint.OS, dir); err != nil || it != 1 {
+		t.Fatalf("real-FS checkpoint: iter %d, %v", it, err)
+	}
+}

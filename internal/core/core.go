@@ -21,11 +21,13 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/device"
 	"repro/internal/host"
 	"repro/internal/kernels"
@@ -81,6 +83,28 @@ type Config struct {
 	Tolerance float64
 	// Workers bounds host parallelism (0 = GOMAXPROCS).
 	Workers int
+
+	// CheckpointDir enables crash-safe checkpointing (host platform
+	// only): after every CheckpointEvery-th iteration (and the final one)
+	// the factors plus training state are written atomically into the
+	// directory, and all but the newest CheckpointKeep checkpoints are
+	// garbage-collected.
+	CheckpointDir string
+	// CheckpointEvery is the iteration stride between checkpoints
+	// (default 1).
+	CheckpointEvery int
+	// CheckpointKeep bounds the directory to the newest N checkpoints
+	// (default 3).
+	CheckpointKeep int
+	// Resume restarts from the newest valid checkpoint in CheckpointDir,
+	// verifying that k, λ, seed, λ convention and variant match the
+	// checkpointed run; a resumed run produces factors bit-identical to
+	// an uninterrupted one. With no checkpoint present training starts
+	// fresh, so crash-rerun loops can pass Resume unconditionally.
+	Resume bool
+	// CheckpointFS overrides the filesystem checkpoints go through
+	// (nil = the real disk); tests inject checkpoint.MemFS faults here.
+	CheckpointFS checkpoint.FS
 }
 
 func (c *Config) setDefaults() {
@@ -105,8 +129,12 @@ type RunInfo struct {
 	Simulated bool
 	// StageSeconds breaks simulated runs into the paper's S1/S2/S3.
 	StageSeconds [3]float64
-	// History carries per-half-iteration loss when TrackLoss was set.
+	// History carries per-half-iteration loss when TrackLoss was set
+	// (including history restored from a resumed checkpoint).
 	History []host.IterStats
+	// ResumedFrom is the completed iteration a resumed run restarted
+	// after (0 = fresh run).
+	ResumedFrom int
 }
 
 // Meta carries optional model provenance the serving layer relies on: a
@@ -211,6 +239,12 @@ func Train(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 	if mx == nil || mx.NNZ() == 0 {
 		return nil, nil, fmt.Errorf("core: empty rating matrix")
 	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, nil, fmt.Errorf("core: Resume requires CheckpointDir")
+	}
+	if cfg.CheckpointDir != "" && cfg.Platform != PlatformHost {
+		return nil, nil, fmt.Errorf("core: checkpointing is supported on the host platform only (got %q)", cfg.Platform)
+	}
 
 	if cfg.Platform == PlatformHost {
 		return trainHost(mx, cfg)
@@ -235,19 +269,70 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		// BENCH_*.json trajectory); it subsumes the paper's register strip.
 		v = variant.Options{Vector: true, Fused: true}
 	}
-	start := time.Now()
-	res, err := host.Train(mx, host.Config{
+	hostCfg := host.Config{
 		K: cfg.K, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
 		Workers: cfg.Workers, Flat: cfg.Baseline, Variant: v,
 		WeightedLambda: cfg.WeightedLambda, TrackLoss: cfg.TrackLoss,
 		Tolerance: cfg.Tolerance,
-	})
+	}
+	var preHistory []host.IterStats
+	resumedFrom := 0
+	if cfg.CheckpointDir != "" {
+		fsys := cfg.CheckpointFS
+		if fsys == nil {
+			fsys = checkpoint.OS
+		}
+		if cfg.Resume {
+			st, _, err := checkpoint.LoadLatest(fsys, cfg.CheckpointDir)
+			switch {
+			case err == nil:
+				if err := resumeMismatch(st, &cfg, variantName(cfg.Baseline, v)); err != nil {
+					return nil, nil, err
+				}
+				hostCfg.StartIteration = st.Iteration
+				hostCfg.ResumeX, hostCfg.ResumeY = st.X, st.Y
+				preHistory = st.History
+				resumedFrom = st.Iteration
+			case errors.Is(err, checkpoint.ErrNoCheckpoint):
+				// Nothing to resume: start fresh so crash-rerun loops can
+				// pass Resume unconditionally.
+			default:
+				return nil, nil, fmt.Errorf("core: resuming from %s: %w", cfg.CheckpointDir, err)
+			}
+		}
+		every := cfg.CheckpointEvery
+		if every <= 0 {
+			every = 1
+		}
+		keep := cfg.CheckpointKeep
+		if keep <= 0 {
+			keep = 3
+		}
+		hostCfg.OnIteration = func(it int, x, y *linalg.Dense, hist []host.IterStats) error {
+			if it%every != 0 && it != cfg.Iterations {
+				return nil
+			}
+			st := &checkpoint.State{
+				Iteration: it, K: cfg.K, Lambda: cfg.Lambda,
+				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
+				Variant: variantName(cfg.Baseline, v), X: x, Y: y,
+				History: concatHistory(preHistory, hist),
+			}
+			if _, err := checkpoint.Save(fsys, cfg.CheckpointDir, st); err != nil {
+				return err
+			}
+			return checkpoint.GC(fsys, cfg.CheckpointDir, keep)
+		}
+	}
+	start := time.Now()
+	res, err := host.Train(mx, hostCfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	info := &RunInfo{
 		Platform: PlatformHost, Variant: variantName(cfg.Baseline, v),
-		Seconds: time.Since(start).Seconds(), History: res.History,
+		Seconds: time.Since(start).Seconds(),
+		History: concatHistory(preHistory, res.History), ResumedFrom: resumedFrom,
 	}
 	mod := &Model{K: cfg.K, X: res.X, Y: res.Y,
 		Meta: Meta{Lambda: cfg.Lambda, WeightedLambda: cfg.WeightedLambda}}
@@ -292,6 +377,38 @@ func trainSim(mx *sparse.Matrix, dev *device.Device, cfg Config) (*Model, *RunIn
 	}
 	mod := &Model{K: cfg.K, X: res.X, Y: res.Y, Meta: Meta{Lambda: cfg.Lambda}}
 	return mod, info, nil
+}
+
+// resumeMismatch rejects resuming under a configuration that would not
+// reproduce the checkpointed run: silently continuing with a different k,
+// λ, seed, λ convention or code variant would converge to a different
+// model while claiming to be the same job.
+func resumeMismatch(st *checkpoint.State, cfg *Config, variantID string) error {
+	switch {
+	case st.K != cfg.K:
+		return fmt.Errorf("core: checkpoint has k=%d, run wants k=%d", st.K, cfg.K)
+	case st.Lambda != cfg.Lambda:
+		return fmt.Errorf("core: checkpoint has lambda=%g, run wants %g", st.Lambda, cfg.Lambda)
+	case st.Seed != cfg.Seed:
+		return fmt.Errorf("core: checkpoint has seed=%d, run wants %d", st.Seed, cfg.Seed)
+	case st.WeightedLambda != cfg.WeightedLambda:
+		return fmt.Errorf("core: checkpoint lambda convention (weighted=%v) does not match run (weighted=%v)",
+			st.WeightedLambda, cfg.WeightedLambda)
+	case st.Variant != variantID:
+		return fmt.Errorf("core: checkpoint was trained with variant %q, run wants %q", st.Variant, variantID)
+	}
+	return nil
+}
+
+// concatHistory joins restored and freshly-recorded loss history without
+// aliasing either slice.
+func concatHistory(pre, cur []host.IterStats) []host.IterStats {
+	if len(pre) == 0 {
+		return cur
+	}
+	out := make([]host.IterStats, 0, len(pre)+len(cur))
+	out = append(out, pre...)
+	return append(out, cur...)
 }
 
 func variantName(baseline bool, v variant.Options) string {
@@ -463,8 +580,10 @@ func LoadModel(r io.Reader) (*Model, error) {
 	}
 	// Guard against corrupt headers demanding absurd allocations: the
 	// largest plausible model (full YahooMusic R1 at k=1000) is ~2G floats.
+	// Compare by division — the products can overflow int64 on
+	// attacker-controlled dims and wrap past the bound.
 	const maxFloats = int64(1) << 32
-	if int64(k) > 1<<20 || int64(m)*int64(k) > maxFloats || int64(n)*int64(k) > maxFloats {
+	if int64(k) > 1<<20 || int64(m) > maxFloats/int64(k) || int64(n) > maxFloats/int64(k) {
 		return nil, fmt.Errorf("core: implausible model dims k=%d m=%d n=%d", k, m, n)
 	}
 	mod := &Model{K: k, X: linalg.NewDense(m, k), Y: linalg.NewDense(n, k)}

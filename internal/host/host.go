@@ -71,6 +71,22 @@ type Config struct {
 	// ChunkSize is the number of rows a batched worker claims at once;
 	// 0 means a heuristic from the row count, mean row degree and Workers.
 	ChunkSize int
+
+	// StartIteration resumes a checkpointed run: the loop begins at
+	// StartIteration+1 (0 = a fresh run). ResumeX/ResumeY must then carry
+	// the factors as of that iteration; they are deep-copied, never
+	// mutated. Because every iteration is a pure function of the current
+	// factors, a resumed run is bit-identical to an uninterrupted one.
+	StartIteration int
+	ResumeX        *linalg.Dense
+	ResumeY        *linalg.Dense
+
+	// OnIteration, when set, runs after every completed full iteration
+	// (workers quiescent, factors stable) with the 1-based iteration
+	// number, the live factor matrices, and the history so far. An error
+	// aborts training — a checkpoint that cannot be written should stop a
+	// run that depends on being resumable.
+	OnIteration func(it int, x, y *linalg.Dense, history []IterStats) error
 }
 
 // chunkRowNNZBudget caps a default chunk's work: one claim covers roughly
@@ -149,8 +165,27 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	if mx.NNZ() == 0 {
 		return nil, fmt.Errorf("host: empty rating matrix")
 	}
+	if cfg.StartIteration < 0 {
+		return nil, fmt.Errorf("host: negative start iteration %d", cfg.StartIteration)
+	}
+	if (cfg.ResumeX == nil) != (cfg.ResumeY == nil) {
+		return nil, fmt.Errorf("host: only one of ResumeX/ResumeY set")
+	}
+	if cfg.StartIteration > 0 && cfg.ResumeX == nil {
+		return nil, fmt.Errorf("host: StartIteration %d without resume factors", cfg.StartIteration)
+	}
 	x := linalg.NewDense(m, cfg.K)
 	y := InitialY(n, cfg.K, cfg.Seed)
+	if cfg.ResumeX != nil {
+		if cfg.ResumeX.Rows != m || cfg.ResumeX.Cols != cfg.K ||
+			cfg.ResumeY.Rows != n || cfg.ResumeY.Cols != cfg.K {
+			return nil, fmt.Errorf("host: resume factors (%dx%d,%dx%d) do not match run (%dx%d,%dx%d)",
+				cfg.ResumeX.Rows, cfg.ResumeX.Cols, cfg.ResumeY.Rows, cfg.ResumeY.Cols,
+				m, cfg.K, n, cfg.K)
+		}
+		x = cfg.ResumeX.Clone()
+		y = cfg.ResumeY.Clone()
+	}
 
 	// The Y update runs the same row-update code on Rᵀ: build a CSR view of
 	// the transpose by reinterpreting the CSC arrays (no copy).
@@ -177,7 +212,7 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	res := &Result{X: x, Y: y}
 	start := time.Now()
 	prevLoss := math.Inf(1)
-	for it := 1; it <= cfg.Iterations; it++ {
+	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
 		if err := pool.runHalf(mx.R, y, x, orderX, chunkX); err != nil {
 			return nil, fmt.Errorf("host: iteration %d update X: %w", it, err)
 		}
@@ -197,6 +232,12 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 				Loss:    metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda),
 				Elapsed: time.Since(start),
 			})
+		}
+		// Workers are parked between halves, so the factors are stable here.
+		if cfg.OnIteration != nil {
+			if err := cfg.OnIteration(it, x, y, res.History); err != nil {
+				return nil, fmt.Errorf("host: iteration %d hook: %w", it, err)
+			}
 		}
 		if cfg.Tolerance > 0 {
 			var loss float64

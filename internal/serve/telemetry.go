@@ -30,9 +30,10 @@ type Telemetry struct {
 	sum      float64
 	count    uint64
 
-	inflight atomic.Int64
-	shed     atomic.Uint64
-	swaps    atomic.Uint64
+	inflight     atomic.Int64
+	shed         atomic.Uint64
+	swaps        atomic.Uint64
+	swapRejected atomic.Uint64
 }
 
 // NewTelemetry returns an empty registry.
@@ -64,6 +65,14 @@ func (t *Telemetry) Shed() { t.shed.Add(1) }
 
 // SwapRecorded counts a model hot-swap.
 func (t *Telemetry) SwapRecorded() { t.swaps.Add(1) }
+
+// SwapRejected counts a candidate model that failed to load or verify
+// (e.g. a corrupt checkpoint seen by the directory watcher); the server
+// keeps serving the previous snapshot.
+func (t *Telemetry) SwapRejected() { t.swapRejected.Add(1) }
+
+// SwapRejectedCount reads the rejection counter (tests and embedders).
+func (t *Telemetry) SwapRejectedCount() uint64 { return t.swapRejected.Load() }
 
 // WriteMetrics renders the Prometheus exposition text. The live snapshot
 // and cache are passed in so model identity and hit rates come from the
@@ -116,6 +125,10 @@ func (t *Telemetry) WriteMetrics(w io.Writer, sn *Snapshot, cache *Cache) {
 	fmt.Fprintln(w, "# HELP als_model_swaps_total Model hot-swaps since start.")
 	fmt.Fprintln(w, "# TYPE als_model_swaps_total counter")
 	fmt.Fprintf(w, "als_model_swaps_total %d\n", t.swaps.Load())
+
+	fmt.Fprintln(w, "# HELP als_swap_rejected_total Candidate models rejected as corrupt or unreadable; the previous snapshot keeps serving.")
+	fmt.Fprintln(w, "# TYPE als_swap_rejected_total counter")
+	fmt.Fprintf(w, "als_swap_rejected_total %d\n", t.swapRejected.Load())
 
 	if cache != nil {
 		hits, misses := cache.Stats()

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// WatcherConfig configures a checkpoint-directory Watcher.
+type WatcherConfig struct {
+	// Dir is the checkpoint directory written by a training run
+	// (alstrain -checkpoint-dir). It may not exist yet; the watcher keeps
+	// polling until it appears.
+	Dir string
+	// Interval is the polling period for Run (default 2s).
+	Interval time.Duration
+	// FS overrides the filesystem (nil = the real disk); tests inject a
+	// checkpoint.MemFS here.
+	FS checkpoint.FS
+	// Clock overrides time for Run's polling loop (nil = real time);
+	// tests drive a checkpoint.FakeClock instead of sleeping.
+	Clock checkpoint.Clock
+	// Rated optionally enables rated-item exclusion for swapped-in
+	// models; it is applied only when its row count matches the
+	// checkpoint's user count.
+	Rated *sparse.CSR
+	// OnSwap, when set, is called after each successful hot-swap.
+	OnSwap func(*Snapshot)
+	// OnReject, when set, is called for each checkpoint file that failed
+	// to load (after the rejection metric is incremented).
+	OnReject func(path string, err error)
+}
+
+// Watcher tails a checkpoint directory and hot-swaps the newest valid
+// checkpoint into a Server through the ordinary versioned-snapshot path,
+// composing training and serving into a live pipeline: a long alstrain
+// run checkpoints every iteration, and the serving fleet follows it
+// without restarts. A corrupt or torn checkpoint is rejected (counted in
+// als_swap_rejected_total), the previous snapshot keeps serving, and the
+// watcher falls back to the next-newest candidate.
+type Watcher struct {
+	srv       *Server
+	cfg       WatcherConfig
+	installed int             // iteration of the installed checkpoint
+	rejected  map[string]bool // checkpoint files already found corrupt
+}
+
+// NewWatcher builds a watcher bound to srv. Call Poll for one
+// deterministic scan-and-swap pass, or Run for the polling loop.
+func NewWatcher(srv *Server, cfg WatcherConfig) *Watcher {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = checkpoint.OS
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = checkpoint.SystemClock
+	}
+	return &Watcher{srv: srv, cfg: cfg, rejected: make(map[string]bool)}
+}
+
+// Poll performs one scan: if the directory holds a checkpoint newer than
+// the installed one, the newest loadable candidate is swapped in.
+// Corrupt candidates are skipped (never retried — a visible checkpoint is
+// complete, so a bad one cannot heal) and each counts one rejection. It
+// reports whether a swap happened. Poll is not safe for concurrent use
+// with itself; Run is the single-goroutine driver.
+func (w *Watcher) Poll() (bool, error) {
+	names, err := w.cfg.FS.ReadDir(w.cfg.Dir)
+	if err != nil {
+		// The directory may simply not exist yet (training not started);
+		// keep waiting rather than failing the loop.
+		return false, nil
+	}
+	type candidate struct {
+		name string
+		iter int
+	}
+	var cands []candidate
+	for _, name := range names {
+		if it, ok := checkpoint.ParseFileName(name); ok && it > w.installed {
+			cands = append(cands, candidate{name, it})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].iter > cands[j].iter })
+	for _, c := range cands {
+		path := filepath.Join(w.cfg.Dir, c.name)
+		if w.rejected[path] {
+			continue
+		}
+		st, err := checkpoint.Load(w.cfg.FS, path)
+		if err != nil {
+			w.rejected[path] = true
+			w.srv.Telemetry().SwapRejected()
+			if w.cfg.OnReject != nil {
+				w.cfg.OnReject(path, err)
+			}
+			continue
+		}
+		model := &core.Model{
+			K: st.K, X: st.X, Y: st.Y,
+			Meta: core.Meta{
+				Version: fmt.Sprintf("ckpt-%d", st.Iteration),
+				Lambda:  st.Lambda, WeightedLambda: st.WeightedLambda,
+			},
+		}
+		rated := w.cfg.Rated
+		if rated != nil && rated.NumRows != model.X.Rows {
+			rated = nil
+		}
+		sn := w.srv.Swap(model, rated, "")
+		w.installed = c.iter
+		if w.cfg.OnSwap != nil {
+			w.cfg.OnSwap(sn)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run polls until ctx is cancelled.
+func (w *Watcher) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.cfg.Clock.After(w.cfg.Interval):
+			w.Poll()
+		}
+	}
+}
