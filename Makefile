@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture ci experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture ci obs-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -20,7 +20,9 @@ test-short:
 # test suite (includes the serving layer's hot-swap stress test), a full
 # race pass over the concurrency-heavy packages (worker pool, hot-swap,
 # checkpoint watcher — these exercise goroutines the -short lane trims),
-# and a one-shot bench smoke so benchmark code cannot rot unnoticed.
+# the observability smoke lane (a real 1-iteration alstrain run scraped
+# over -debug-addr; fails on unparseable exposition output), and a one-shot
+# bench smoke so benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -30,7 +32,14 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/checkpoint ./internal/core ./internal/host ./internal/serve
+	$(MAKE) obs-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Observability smoke: build alstrain, run one training iteration with
+# -debug-addr, scrape live /metrics and /runinfo, and validate the
+# Prometheus exposition text plus the Chrome trace and JSONL exports.
+obs-smoke:
+	$(GO) test -run TestAlstrainDebugSmoke -count=1 ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,13 +6,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -25,8 +25,9 @@ func main() {
 	seed := flag.Int64("seed", 2017, "dataset + init seed")
 	capture := flag.String("capture", "", "run the host variant bench capture and write the JSON record to this file (e.g. BENCH_2.json)")
 	captureScale := flag.Float64("capture-scale", 0.01, "MVLE bench scale for -capture")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics (process health) and /debug/pprof on this address while the experiments run")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	s := experiments.Defaults()
@@ -46,27 +47,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alsbench:", err)
 		os.Exit(1)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "alsbench:", err)
+		}
+	}()
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
 		if err != nil {
 			fail(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fail(err)
-			}
-		}()
+		defer dbg.Close()
+		fmt.Printf("debug server listening on http://%s\n", dbg.Addr())
 	}
 	if *capture != "" {
 		c, err := experiments.CaptureHostBench(s, *captureScale)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	maxN := flag.Int("max-n", 100, "largest accepted n per request")
 	watch := flag.String("watch", "", "checkpoint directory to follow: the newest valid checkpoint is hot-swapped in as training writes it (-model becomes optional)")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll period for -watch")
+	debugAddr := flag.String("debug-addr", "", "serve the same metrics plus process health and /debug/pprof on a second address (keeps profiling off the public listener)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -56,6 +58,16 @@ func main() {
 		CacheSize: *cacheSize, MaxN: *maxN,
 	})
 	defer srv.Close()
+	if *debugAddr != "" {
+		reg := srv.Telemetry().Registry()
+		obs.RegisterProcessMetrics(reg)
+		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
+		if err != nil {
+			fail(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server listening on http://%s\n", dbg.Addr())
+	}
 	if *modelPath != "" {
 		m, rated, err := serve.LoadSnapshotFiles(*modelPath, *ratings, *oneBased)
 		if err != nil {

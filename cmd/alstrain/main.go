@@ -7,12 +7,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime/pprof"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/variant"
 )
 
@@ -37,35 +39,43 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoints")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "newest checkpoints to retain (older ones are garbage-collected)")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (fresh start when none exists)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics, /runinfo and /debug/pprof on this address during training (e.g. :9090)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the -debug-addr server up this long after training finishes (for scraping short runs)")
+	traceOut := flag.String("trace-out", "", "write the run as a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	eventsOut := flag.String("events-out", "", "write the structured run-event log (JSONL) to this file")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "alstrain:", err)
 		os.Exit(1)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "alstrain:", err)
+		}
+	}()
+
+	// The recorder is nil unless some observability output was requested, so
+	// the default training path stays uninstrumented.
+	var rec *obs.TrainRecorder
+	if *debugAddr != "" || *traceOut != "" || *eventsOut != "" {
+		rec = obs.NewTrainRecorder()
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		rec.Register(reg)
+		obs.RegisterProcessMetrics(reg)
+		dbg, err := obs.StartDebug(*debugAddr, reg, func() any { return rec.RunInfo() })
 		if err != nil {
 			fail(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fail(err)
-			}
-		}()
+		defer dbg.Close()
+		fmt.Printf("debug server listening on http://%s\n", dbg.Addr())
 	}
 
 	var ds *dataset.Dataset
@@ -104,6 +114,7 @@ func main() {
 	}
 	mx := ds.Matrix
 	fmt.Printf("dataset: %s  m=%d n=%d nnz=%d\n", ds.Name, mx.Rows(), mx.Cols(), mx.NNZ())
+	rec.SetMeta("alstrain", ds.Name, *k, *lambda, *iters)
 
 	train := mx
 	test := mx
@@ -120,7 +131,7 @@ func main() {
 		Platform: *platform, AutoVariant: *auto, UseRecommended: *variantID == "",
 		WeightedLambda: *weighted,
 		CheckpointDir:  *ckptDir, CheckpointEvery: *ckptEvery,
-		CheckpointKeep: *ckptKeep, Resume: *resume,
+		CheckpointKeep: *ckptKeep, Resume: *resume, Obs: rec,
 	}
 	if *variantID != "" {
 		v, err := variant.ParseID(*variantID)
@@ -163,4 +174,33 @@ func main() {
 		}
 		fmt.Printf("model written to %s\n", *out)
 	}
+
+	if *traceOut != "" {
+		if err := writeObsFile(*traceOut, rec.WriteChromeTrace); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *eventsOut != "" {
+		if err := writeObsFile(*eventsOut, rec.WriteJSONL); err != nil {
+			fail(err)
+		}
+		fmt.Printf("event log written to %s\n", *eventsOut)
+	}
+	if *debugAddr != "" && *debugLinger > 0 {
+		fmt.Printf("debug server lingering for %s\n", *debugLinger)
+		time.Sleep(*debugLinger)
+	}
+}
+
+func writeObsFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

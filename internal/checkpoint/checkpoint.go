@@ -109,6 +109,29 @@ func (st *State) validate() error {
 	return nil
 }
 
+// EncodedSize returns the exact byte count Encode will produce for st,
+// including the CRC trailer. The observability layer uses it to report
+// checkpoint I/O volume without re-reading the file (the FS interface has
+// no Stat). A size test pins it against real Encode output.
+func (st *State) EncodedSize() int64 {
+	const (
+		header    = 7 * 8         // magic..seed, uint64 each
+		fixed     = 4 + 1 + 2 + 4 // lambda + weighted + variant len + history len
+		histEntry = 4 + 1 + 8 + 8 // iteration, half, loss, elapsed
+		trailer   = 4             // CRC-32C
+	)
+	n := int64(header + fixed + trailer)
+	n += int64(len(st.Variant))
+	n += int64(len(st.History)) * histEntry
+	if st.X != nil {
+		n += 4 * int64(len(st.X.Data))
+	}
+	if st.Y != nil {
+		n += 4 * int64(len(st.Y.Data))
+	}
+	return n
+}
+
 // crcWriter checksums everything written through it.
 type crcWriter struct {
 	w   io.Writer

@@ -66,6 +66,23 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	statesEqual(t, st, got)
 }
 
+// TestEncodedSizeMatchesEncode pins EncodedSize to the real on-disk byte
+// count, with and without history and with an empty variant label.
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	states := []*State{testState(7, 1.5), testState(2, 0)}
+	states[1].History = nil
+	states[1].Variant = ""
+	for i, st := range states {
+		var buf bytes.Buffer
+		if err := Encode(&buf, st); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := st.EncodedSize(), int64(buf.Len()); got != want {
+			t.Errorf("state %d: EncodedSize() = %d, Encode wrote %d bytes", i, got, want)
+		}
+	}
+}
+
 func TestDecodeRejectsBitFlips(t *testing.T) {
 	st := testState(3, 0.25)
 	var buf bytes.Buffer

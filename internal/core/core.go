@@ -33,6 +33,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -105,6 +106,11 @@ type Config struct {
 	// CheckpointFS overrides the filesystem checkpoints go through
 	// (nil = the real disk); tests inject checkpoint.MemFS faults here.
 	CheckpointFS checkpoint.FS
+
+	// Obs, when set, receives the training-run observability stream (host
+	// platform only): half-iteration spans, worker utilization, stage
+	// timings, loss points, and checkpoint I/O. See internal/obs.
+	Obs *obs.TrainRecorder
 }
 
 func (c *Config) setDefaults() {
@@ -273,7 +279,7 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		K: cfg.K, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
 		Workers: cfg.Workers, Flat: cfg.Baseline, Variant: v,
 		WeightedLambda: cfg.WeightedLambda, TrackLoss: cfg.TrackLoss,
-		Tolerance: cfg.Tolerance,
+		Tolerance: cfg.Tolerance, Obs: cfg.Obs,
 	}
 	var preHistory []host.IterStats
 	resumedFrom := 0
@@ -283,7 +289,15 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 			fsys = checkpoint.OS
 		}
 		if cfg.Resume {
+			loadStart := time.Now()
 			st, _, err := checkpoint.LoadLatest(fsys, cfg.CheckpointDir)
+			if err == nil || !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+				var bytes int64
+				if err == nil {
+					bytes = st.EncodedSize()
+				}
+				cfg.Obs.RecordCheckpoint("load", time.Since(loadStart), bytes, err)
+			}
 			switch {
 			case err == nil:
 				if err := resumeMismatch(st, &cfg, variantName(cfg.Baseline, v)); err != nil {
@@ -318,7 +332,10 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 				Variant: variantName(cfg.Baseline, v), X: x, Y: y,
 				History: concatHistory(preHistory, hist),
 			}
-			if _, err := checkpoint.Save(fsys, cfg.CheckpointDir, st); err != nil {
+			saveStart := time.Now()
+			_, err := checkpoint.Save(fsys, cfg.CheckpointDir, st)
+			cfg.Obs.RecordCheckpoint("save", time.Since(saveStart), st.EncodedSize(), err)
+			if err != nil {
 				return err
 			}
 			return checkpoint.GC(fsys, cfg.CheckpointDir, keep)

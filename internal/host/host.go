@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -87,6 +88,14 @@ type Config struct {
 	// aborts training — a checkpoint that cannot be written should stop a
 	// run that depends on being resumable.
 	OnIteration func(it int, x, y *linalg.Dense, history []IterStats) error
+
+	// Obs, when set, receives the training-run observability stream:
+	// half-iteration spans, per-worker utilization, per-stage kernel time,
+	// and loss points. All recording happens at the half rendezvous (one
+	// report per worker per half), except the stage timers which bracket
+	// the S1/S2/S3 kernels inside updateRow; with Obs nil the row-update
+	// path is untouched and stays allocation-free.
+	Obs *obs.TrainRecorder
 }
 
 // chunkRowNNZBudget caps a default chunk's work: one claim covers roughly
@@ -209,29 +218,36 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 		chunkY = defaultChunk(n, mx.NNZ(), cfg.Workers)
 	}
 
+	cfg.Obs.SetShape(m, n, mx.NNZ(), pool.workers, variantLabel(cfg))
 	res := &Result{X: x, Y: y}
 	start := time.Now()
 	prevLoss := math.Inf(1)
 	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
-		if err := pool.runHalf(mx.R, y, x, orderX, chunkX); err != nil {
+		cfg.Obs.BeginHalf(it, "X", m, mx.NNZ(), pool.workers)
+		err := pool.runHalf(mx.R, y, x, orderX, chunkX)
+		cfg.Obs.EndHalf()
+		if err != nil {
 			return nil, fmt.Errorf("host: iteration %d update X: %w", it, err)
 		}
 		if cfg.TrackLoss {
+			loss := metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
 			res.History = append(res.History, IterStats{
-				Iteration: it, Half: "X",
-				Loss:    metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda),
-				Elapsed: time.Since(start),
+				Iteration: it, Half: "X", Loss: loss, Elapsed: time.Since(start),
 			})
+			cfg.Obs.RecordLoss(it, "X", loss)
 		}
-		if err := pool.runHalf(rt, x, y, orderY, chunkY); err != nil {
+		cfg.Obs.BeginHalf(it, "Y", n, mx.NNZ(), pool.workers)
+		err = pool.runHalf(rt, x, y, orderY, chunkY)
+		cfg.Obs.EndHalf()
+		if err != nil {
 			return nil, fmt.Errorf("host: iteration %d update Y: %w", it, err)
 		}
 		if cfg.TrackLoss {
+			loss := metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
 			res.History = append(res.History, IterStats{
-				Iteration: it, Half: "Y",
-				Loss:    metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda),
-				Elapsed: time.Since(start),
+				Iteration: it, Half: "Y", Loss: loss, Elapsed: time.Since(start),
 			})
+			cfg.Obs.RecordLoss(it, "Y", loss)
 		}
 		// Workers are parked between halves, so the factors are stable here.
 		if cfg.OnIteration != nil {
@@ -239,12 +255,14 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("host: iteration %d hook: %w", it, err)
 			}
 		}
+		cfg.Obs.IterDone(it)
 		if cfg.Tolerance > 0 {
 			var loss float64
 			if cfg.TrackLoss {
 				loss = res.History[len(res.History)-1].Loss
 			} else {
 				loss = metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+				cfg.Obs.RecordLoss(it, "Y", loss)
 			}
 			res.Converged = it
 			if prevLoss-loss < cfg.Tolerance*prevLoss {
@@ -255,6 +273,15 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// variantLabel names the run's code variant for observability output,
+// matching the naming the result layer uses.
+func variantLabel(cfg Config) string {
+	if cfg.Flat {
+		return "flat baseline"
+	}
+	return cfg.Variant.String()
 }
 
 // InitialY fills Y with the paper's "small random numbers" initial guess.
@@ -329,7 +356,7 @@ func newWorkerPool(cfg Config) *workerPool {
 	p := &workerPool{cfg: cfg, workers: cfg.Workers, jobs: make(chan *halfJob, cfg.Workers)}
 	p.wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		go p.run()
+		go p.run(w)
 	}
 	return p
 }
@@ -353,16 +380,27 @@ func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []in
 	return nil
 }
 
-func (p *workerPool) run() {
+func (p *workerPool) run(id int) {
 	defer p.wg.Done()
 	ws := newWorkerState(p.cfg.K)
+	ws.timed = p.cfg.Obs != nil
 	for job := range p.jobs {
-		p.work(job, ws)
+		if ws.timed {
+			t0 := time.Now()
+			chunks, rows := p.work(job, ws)
+			p.cfg.Obs.WorkerReport(id, time.Since(t0), chunks, rows, ws.stage)
+			ws.stage = obs.StageDur{}
+		} else {
+			p.work(job, ws)
+		}
 		job.wg.Done()
 	}
 }
 
-func (p *workerPool) work(job *halfJob, ws *workerState) {
+// work drains one half-iteration job, returning how many chunks this worker
+// claimed and how many rows it updated (both zero-cost to count; only read
+// when observability is on).
+func (p *workerPool) work(job *halfJob, ws *workerState) (chunks, rows int) {
 	m := job.r.NumRows
 	if p.cfg.Flat {
 		// Static contiguous blocks [b·m/W, (b+1)·m/W), claimed by index from
@@ -378,11 +416,13 @@ func (p *workerPool) work(job *halfJob, ws *workerState) {
 			}
 			lo := blk * m / p.workers
 			hi := (blk + 1) * m / p.workers
+			chunks++
 			for u := lo; u < hi; u++ {
 				if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
 					job.err.CompareAndSwap(nil, err)
 					return
 				}
+				rows++
 			}
 		}
 		return
@@ -396,6 +436,7 @@ func (p *workerPool) work(job *halfJob, ws *workerState) {
 		if end > m {
 			end = m
 		}
+		chunks++
 		for i := base; i < end; i++ {
 			u := i
 			if job.order != nil {
@@ -405,8 +446,10 @@ func (p *workerPool) work(job *halfJob, ws *workerState) {
 				job.err.CompareAndSwap(nil, err)
 				return
 			}
+			rows++
 		}
 	}
+	return
 }
 
 // workerState is the per-goroutine scratch: the k×k normal matrix (and its
@@ -423,6 +466,12 @@ type workerState struct {
 	stageY    []float32 // staged rows of the fixed factor, omega×k
 	stageVals []float32
 	stageCols []int32
+
+	// timed brackets the S1/S2/S3 kernels in updateRow with wall-clock
+	// probes, accumulated into stage; set only when Config.Obs is non-nil,
+	// so the default path carries a single predictable branch per stage.
+	timed bool
+	stage obs.StageDur
 }
 
 func newWorkerState(k int) *workerState {
@@ -485,6 +534,11 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 		lam *= float32(omega)
 	}
 
+	var t0 time.Time
+	if ws.timed {
+		t0 = time.Now()
+	}
+
 	if !cfg.Flat && cfg.Variant.Fused {
 		// Fused S1+S2: one sweep over the gathered rows accumulates the
 		// packed upper-triangular Gram and the right-hand side together,
@@ -495,12 +549,20 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 		}
 		fused(src, k, gcols, gvals, ws.pmat, ws.svec)
 		linalg.AddDiagPacked(ws.pmat, k, lam)
+		if ws.timed {
+			now := time.Now()
+			ws.stage[obs.StageS12] += now.Sub(t0)
+			t0 = now
+		}
 		if err := linalg.CholeskySolvePacked(ws.pmat, k, ws.svec); err != nil {
 			fused(src, k, gcols, gvals, ws.pmat, ws.svec)
 			linalg.AddDiagPacked(ws.pmat, k, lam)
 			if err := linalg.LDLSolvePacked(ws.pmat, k, ws.svec, ws.ldl); err != nil {
 				return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
 			}
+		}
+		if ws.timed {
+			ws.stage[obs.StageS3] += time.Since(t0)
 		}
 		copy(xu, ws.svec)
 		return nil
@@ -519,12 +581,22 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 	}
 	gram()
 	ws.smat.AddDiag(lam)
+	if ws.timed {
+		now := time.Now()
+		ws.stage[obs.StageS1] += now.Sub(t0)
+		t0 = now
+	}
 
 	// S2: svec = Fᵀ r_u.
 	if !cfg.Flat && cfg.Variant.Vector {
 		linalg.GatherGaxpyUnrolled(src, k, gcols, gvals, ws.svec)
 	} else {
 		linalg.GatherGaxpy(src, k, gcols, gvals, ws.svec)
+	}
+	if ws.timed {
+		now := time.Now()
+		ws.stage[obs.StageS2] += now.Sub(t0)
+		t0 = now
 	}
 
 	// S3: Cholesky solve; LDL fallback for borderline systems (λ = 0).
@@ -534,6 +606,9 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 		if err := linalg.LDLSolve(ws.smat, ws.svec); err != nil {
 			return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
 		}
+	}
+	if ws.timed {
+		ws.stage[obs.StageS3] += time.Since(t0)
 	}
 	copy(xu, ws.svec)
 	return nil

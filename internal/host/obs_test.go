@@ -1,0 +1,107 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/variant"
+)
+
+// TestTrainWithRecorder: observing a run must not change its results, and
+// the recorder must come back fully populated — halves, per-worker rows,
+// stage time, and loss points.
+func TestTrainWithRecorder(t *testing.T) {
+	mx := smallDataset(t, 6)
+	base := Config{K: 8, Lambda: 0.1, Iterations: 3, Seed: 9, Workers: 3,
+		Variant: variant.Options{Vector: true, Fused: true}, TrackLoss: true}
+
+	plain, err := Train(mx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewTrainRecorder()
+	reg := obs.NewRegistry()
+	rec.Register(reg)
+	cfg := base
+	cfg.Obs = rec
+	observed, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := linalg.MaxAbsDiff(plain.X, observed.X); d != 0 {
+		t.Errorf("observed run changed X by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(plain.Y, observed.Y); d != 0 {
+		t.Errorf("observed run changed Y by %g", d)
+	}
+
+	info := rec.RunInfo()
+	if info.Iteration != 3 || info.Halves != 6 {
+		t.Errorf("recorder progress: iter %d halves %d, want 3 and 6", info.Iteration, info.Halves)
+	}
+	if info.Meta.Rows != mx.Rows() || info.Meta.Cols != mx.Cols() || info.Meta.NNZ != mx.NNZ() {
+		t.Errorf("recorder shape %d x %d (%d nnz), want %d x %d (%d)",
+			info.Meta.Rows, info.Meta.Cols, info.Meta.NNZ, mx.Rows(), mx.Cols(), mx.NNZ())
+	}
+	if info.Meta.Workers != 3 || info.Meta.Variant != base.Variant.String() {
+		t.Errorf("recorder meta workers=%d variant=%q", info.Meta.Workers, info.Meta.Variant)
+	}
+	if info.LastLoss == nil {
+		t.Error("recorder has no loss despite TrackLoss")
+	}
+	// Fused variant: stage time must land on s1+s2 and s3, never s1/s2.
+	if info.StageSeconds["s1+s2"] <= 0 || info.StageSeconds["s3"] <= 0 {
+		t.Errorf("fused stage totals missing: %v", info.StageSeconds)
+	}
+	if _, ok := info.StageSeconds["s1"]; ok {
+		t.Errorf("fused run reported split s1 time: %v", info.StageSeconds)
+	}
+
+	// Worker row totals must account for every row update exactly once:
+	// (m + n) rows per iteration over 3 iterations.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if _, err := obs.ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("live metrics do not validate: %v", err)
+	}
+	wantRows := 3 * (mx.Rows() + mx.Cols())
+	var gotRows int
+	for _, ev := range info.RecentEvents {
+		if ev.Event == "half" {
+			for _, wh := range ev.Workers {
+				gotRows += wh.Rows
+			}
+		}
+	}
+	if gotRows != wantRows {
+		t.Errorf("worker rows sum to %d, want %d", gotRows, wantRows)
+	}
+}
+
+// TestTrainWithRecorderNonFused: the split-kernel path must report s1, s2
+// and s3 separately.
+func TestTrainWithRecorderNonFused(t *testing.T) {
+	mx := smallDataset(t, 7)
+	rec := obs.NewTrainRecorder()
+	cfg := Config{K: 8, Lambda: 0.1, Iterations: 1, Seed: 9, Workers: 2,
+		Variant: variant.Options{Vector: true}, Obs: rec}
+	if _, err := Train(mx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	info := rec.RunInfo()
+	for _, s := range []string{"s1", "s2", "s3"} {
+		if info.StageSeconds[s] <= 0 {
+			t.Errorf("stage %s unreported: %v", s, info.StageSeconds)
+		}
+	}
+	if _, ok := info.StageSeconds["s1+s2"]; ok {
+		t.Errorf("non-fused run reported fused time: %v", info.StageSeconds)
+	}
+}

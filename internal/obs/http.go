@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugServer is the live inspection endpoint a long run exposes via
+// -debug-addr: Prometheus /metrics, /runinfo (a JSON snapshot of the run),
+// and the full net/http/pprof suite under /debug/pprof/.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// StartDebug listens on addr (":0" picks a free port; see Addr) and serves
+// the debug endpoints in a background goroutine. reg may be nil (serves an
+// empty but valid exposition); runinfo may be nil (404s /runinfo).
+func StartDebug(addr string, reg *Registry, runinfo func() any) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	if runinfo != nil {
+		mux.HandleFunc("GET /runinfo", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(runinfo())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{srv: &http.Server{Handler: mux}, lis: lis}
+	go d.srv.Serve(lis)
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close stops the server immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// RegisterProcessMetrics adds scrape-time process-level gauges (goroutines,
+// heap footprint, GC work, uptime) to reg, so every -debug-addr endpoint
+// answers the basic "is this process healthy" questions without wiring.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.Func("process_uptime_seconds", "Seconds since the process registered its metrics.", Gauge, nil,
+		func() []Sample {
+			return []Sample{{Value: time.Since(start).Seconds()}}
+		})
+	reg.Func("go_goroutines", "Live goroutines.", Gauge, nil, func() []Sample {
+		return []Sample{{Value: float64(runtime.NumGoroutine())}}
+	})
+	reg.Func("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", Gauge, nil,
+		func() []Sample {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return []Sample{{Value: float64(ms.HeapAlloc)}}
+		})
+	reg.Func("go_memstats_total_alloc_bytes", "Cumulative bytes allocated on the heap.", Counter, nil,
+		func() []Sample {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return []Sample{{Value: float64(ms.TotalAlloc)}}
+		})
+	reg.Func("go_gc_cycles_total", "Completed GC cycles.", Counter, nil, func() []Sample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []Sample{{Value: float64(ms.NumGC)}}
+	})
+}

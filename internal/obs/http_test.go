@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	rec := NewTrainRecorder()
+	reg := NewRegistry()
+	rec.Register(reg)
+	RegisterProcessMetrics(reg)
+	driveRecorder(rec)
+
+	d, err := StartDebug("127.0.0.1:0", reg, func() any { return rec.RunInfo() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if ctype != "text/plain; version=0.0.4" {
+		t.Errorf("metrics content type = %q", ctype)
+	}
+	if _, err := ValidateExposition(io.NopCloser(readerOf(body))); err != nil {
+		t.Errorf("metrics do not validate: %v", err)
+	}
+
+	body, ctype = get("/runinfo")
+	if ctype != "application/json" {
+		t.Errorf("runinfo content type = %q", ctype)
+	}
+	var info TrainRunInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("runinfo is not JSON: %v", err)
+	}
+	if info.Halves != 2 {
+		t.Errorf("runinfo halves = %d, want 2", info.Halves)
+	}
+
+	get("/debug/pprof/cmdline")
+	get("/debug/pprof/heap?debug=1")
+}
+
+func readerOf(s string) io.Reader { return &stringReader{s: s} }
+
+type stringReader struct{ s string }
+
+func (r *stringReader) Read(p []byte) (int, error) {
+	if r.s == "" {
+		return 0, io.EOF
+	}
+	n := copy(p, r.s)
+	r.s = r.s[n:]
+	return n, nil
+}

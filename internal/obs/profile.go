@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// ProfileFlags is the -cpuprofile/-memprofile plumbing shared by the
+// command-line tools (previously duplicated in alstrain and alsbench):
+// register the flags, Start after flag.Parse, and Stop on the way out.
+type ProfileFlags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs (flag.CommandLine for
+// the standard binaries).
+func (p *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call Stop (e.g.
+// deferred) to flush profiles.
+func (p *ProfileFlags) Start() error {
+	if p.CPU == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPU)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile when -memprofile was
+// given.
+func (p *ProfileFlags) Stop() error {
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			firstErr = err
+		}
+		p.cpuFile = nil
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			return firstOf(firstErr, err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return firstOf(firstErr, fmt.Errorf("writing heap profile: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			return firstOf(firstErr, err)
+		}
+	}
+	return firstErr
+}
+
+func firstOf(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestAlstrainDebugSmoke is the observability end-to-end check the CI lane
+// runs: build alstrain, train one iteration with -debug-addr and the trace
+// exports on, scrape /metrics while the server lingers, and hold the output
+// to the strict exposition parser. It fails on unparseable exposition
+// output, a missing stage/worker metric, or an invalid trace file.
+func TestAlstrainDebugSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the alstrain binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "alstrain")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/alstrain")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building alstrain: %v\n%s", err, out)
+	}
+
+	tracePath := filepath.Join(dir, "run.trace.json")
+	eventsPath := filepath.Join(dir, "run.events.jsonl")
+	cmd := exec.Command(bin,
+		"-preset", "MVLE", "-scale", "0.005", "-iters", "1", "-test-frac", "0",
+		"-debug-addr", "127.0.0.1:0", "-debug-linger", "30s",
+		"-trace-out", tracePath, "-events-out", eventsPath)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Follow stdout: grab the bound debug address, then wait until the run
+	// is done (the linger line) so the scrape sees the full training run.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(60 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+wait:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("alstrain exited before lingering")
+			}
+			if rest, found := strings.CutPrefix(line, "debug server listening on http://"); found {
+				addr = rest
+			}
+			if strings.HasPrefix(line, "debug server lingering") {
+				break wait
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for alstrain")
+		}
+	}
+	if addr == "" {
+		t.Fatal("alstrain never printed the debug address")
+	}
+
+	body := get(t, "http://"+addr+"/metrics")
+	n, err := obs.ValidateExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	if n == 0 {
+		t.Fatal("/metrics served zero samples")
+	}
+	for _, want := range []string{
+		"als_train_iteration 1",
+		`als_train_halves_total{half="X"} 1`,
+		`als_train_halves_total{half="Y"} 1`,
+		"als_train_stage_seconds_total{stage=",
+		"als_train_worker_busy_seconds_total{worker=",
+		"als_train_info{program=\"alstrain\"",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var info obs.TrainRunInfo
+	if err := json.Unmarshal([]byte(get(t, "http://"+addr+"/runinfo")), &info); err != nil {
+		t.Fatalf("/runinfo is not JSON: %v", err)
+	}
+	if info.Iteration != 1 || info.Halves != 2 {
+		t.Errorf("/runinfo progress iter=%d halves=%d, want 1 and 2", info.Iteration, info.Halves)
+	}
+
+	if body := get(t, "http://"+addr+"/debug/pprof/cmdline"); !strings.Contains(body, "alstrain") {
+		t.Errorf("pprof cmdline does not mention alstrain: %q", body)
+	}
+
+	traceBytes, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBytes, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+	events, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(events)), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("event log line %d is not JSON: %q", i+1, line)
+		}
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}

@@ -80,6 +80,7 @@ func New(cfg Config) *Server {
 		tel:    NewTelemetry(),
 		sem:    make(chan struct{}, cfg.Queue),
 	}
+	s.tel.AttachServer(s.store.Current, s.cache)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -393,5 +394,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.tel.WriteMetrics(w, s.store.Current(), s.cache)
+	s.tel.WriteMetrics(w)
 }

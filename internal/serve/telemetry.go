@@ -1,12 +1,12 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBuckets are the request-latency histogram upper bounds in seconds,
@@ -15,45 +15,107 @@ var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
-type requestKey struct {
-	endpoint string
-	code     int
-}
-
 // Telemetry aggregates the serving metrics exported at /metrics in the
 // Prometheus text format: per-endpoint/status request counters, a global
-// latency histogram, an in-flight gauge, shed and swap counters.
+// latency histogram, an in-flight gauge, shed and swap counters, and — once
+// the checkpoint watcher installs a model — freshness gauges. It is a thin
+// facade over an obs.Registry, so the serving metrics share one renderer
+// (and one exposition-format contract) with the training-side metrics.
 type Telemetry struct {
-	mu       sync.Mutex
-	requests map[requestKey]uint64
-	buckets  []uint64 // len(latencyBuckets)+1; last is +Inf
-	sum      float64
-	count    uint64
+	reg *obs.Registry
 
-	inflight     atomic.Int64
-	shed         atomic.Uint64
-	swaps        atomic.Uint64
-	swapRejected atomic.Uint64
+	requests     *obs.Vec
+	latency      *obs.Metric
+	inflight     *obs.Metric
+	shed         *obs.Metric
+	swaps        *obs.Metric
+	swapRejected *obs.Metric
+
+	mu       sync.Mutex
+	lastSwap time.Time // zero until the watcher installs a model
+	now      func() time.Time
 }
 
-// NewTelemetry returns an empty registry.
+// NewTelemetry returns an empty registry. The zero-label families are
+// instantiated eagerly so they render as 0 before first use.
 func NewTelemetry() *Telemetry {
-	return &Telemetry{
-		requests: make(map[requestKey]uint64),
-		buckets:  make([]uint64, len(latencyBuckets)+1),
+	reg := obs.NewRegistry()
+	t := &Telemetry{
+		reg:      reg,
+		requests: reg.Counter("als_requests_total", "Finished requests by endpoint and status code.", "endpoint", "code"),
+		latency:  reg.Histogram("als_request_seconds", "Request latency.", latencyBuckets).With(),
+		inflight: reg.Gauge("als_inflight_requests", "Requests currently being handled.").With(),
+		shed:     reg.Counter("als_shed_total", "Requests rejected with 429 by the admission queue.").With(),
+		swaps:    reg.Counter("als_model_swaps_total", "Model hot-swaps since start.").With(),
+		swapRejected: reg.Counter("als_swap_rejected_total",
+			"Candidate models rejected as corrupt or unreadable; the previous snapshot keeps serving.").With(),
+		now: time.Now,
+	}
+	reg.Func("als_last_swap_timestamp_seconds",
+		"Unix time the checkpoint watcher last installed a model; absent before the first install.",
+		obs.Gauge, nil, func() []obs.Sample {
+			t.mu.Lock()
+			last := t.lastSwap
+			t.mu.Unlock()
+			if last.IsZero() {
+				return nil
+			}
+			return []obs.Sample{{Value: float64(last.UnixNano()) / 1e9}}
+		})
+	reg.Func("als_checkpoint_age_seconds",
+		"Seconds since the checkpoint watcher last installed a model; absent before the first install.",
+		obs.Gauge, nil, func() []obs.Sample {
+			t.mu.Lock()
+			last, now := t.lastSwap, t.now()
+			t.mu.Unlock()
+			if last.IsZero() {
+				return nil
+			}
+			return []obs.Sample{{Value: now.Sub(last).Seconds()}}
+		})
+	return t
+}
+
+// AttachServer registers the scrape-time collectors that read live server
+// state: model identity from the snapshot store and hit rates from the
+// response cache. Called once by New; current and cache may be nil.
+func (t *Telemetry) AttachServer(current func() *Snapshot, cache *Cache) {
+	if current != nil {
+		t.reg.Func("als_model_info", "Live model identity (value is always 1).",
+			obs.Gauge, []string{"version", "seq"}, func() []obs.Sample {
+				sn := current()
+				if sn == nil {
+					return nil
+				}
+				return []obs.Sample{{Labels: []string{sn.Version, strconv.FormatUint(sn.Seq, 10)}, Value: 1}}
+			})
+	}
+	if cache != nil {
+		t.reg.Func("als_cache_hits_total", "Response cache hits.", obs.Counter, nil,
+			func() []obs.Sample {
+				hits, _ := cache.Stats()
+				return []obs.Sample{{Value: float64(hits)}}
+			})
+		t.reg.Func("als_cache_misses_total", "Response cache misses.", obs.Counter, nil,
+			func() []obs.Sample {
+				_, misses := cache.Stats()
+				return []obs.Sample{{Value: float64(misses)}}
+			})
+		t.reg.Func("als_cache_entries", "Response cache occupancy.", obs.Gauge, nil,
+			func() []obs.Sample {
+				return []obs.Sample{{Value: float64(cache.Len())}}
+			})
 	}
 }
 
+// Registry exposes the underlying metric registry so embedders can serve it
+// from an obs.DebugServer or add process-level collectors.
+func (t *Telemetry) Registry() *obs.Registry { return t.reg }
+
 // Observe records one finished request.
 func (t *Telemetry) Observe(endpoint string, code int, d time.Duration) {
-	secs := d.Seconds()
-	idx := sort.SearchFloat64s(latencyBuckets, secs)
-	t.mu.Lock()
-	t.requests[requestKey{endpoint, code}]++
-	t.buckets[idx]++
-	t.sum += secs
-	t.count++
-	t.mu.Unlock()
+	t.requests.With(endpoint, strconv.Itoa(code)).Inc()
+	t.latency.Observe(d.Seconds())
 }
 
 // IncInflight/DecInflight track requests currently inside handlers.
@@ -61,91 +123,31 @@ func (t *Telemetry) IncInflight() { t.inflight.Add(1) }
 func (t *Telemetry) DecInflight() { t.inflight.Add(-1) }
 
 // Shed counts a request rejected by the admission queue (429).
-func (t *Telemetry) Shed() { t.shed.Add(1) }
+func (t *Telemetry) Shed() { t.shed.Inc() }
 
 // SwapRecorded counts a model hot-swap.
-func (t *Telemetry) SwapRecorded() { t.swaps.Add(1) }
+func (t *Telemetry) SwapRecorded() { t.swaps.Inc() }
+
+// SwapInstalled marks the moment the checkpoint watcher installed a fresh
+// model, feeding the freshness gauges. The timestamp comes from the
+// watcher's (possibly fake) clock.
+func (t *Telemetry) SwapInstalled(at time.Time) {
+	t.mu.Lock()
+	t.lastSwap = at
+	t.mu.Unlock()
+}
 
 // SwapRejected counts a candidate model that failed to load or verify
 // (e.g. a corrupt checkpoint seen by the directory watcher); the server
 // keeps serving the previous snapshot.
-func (t *Telemetry) SwapRejected() { t.swapRejected.Add(1) }
+func (t *Telemetry) SwapRejected() { t.swapRejected.Inc() }
 
 // SwapRejectedCount reads the rejection counter (tests and embedders).
-func (t *Telemetry) SwapRejectedCount() uint64 { return t.swapRejected.Load() }
+func (t *Telemetry) SwapRejectedCount() uint64 { return uint64(t.swapRejected.Value()) }
 
-// WriteMetrics renders the Prometheus exposition text. The live snapshot
-// and cache are passed in so model identity and hit rates come from the
-// source of truth at scrape time.
-func (t *Telemetry) WriteMetrics(w io.Writer, sn *Snapshot, cache *Cache) {
-	t.mu.Lock()
-	keys := make([]requestKey, 0, len(t.requests))
-	for k := range t.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].endpoint != keys[j].endpoint {
-			return keys[i].endpoint < keys[j].endpoint
-		}
-		return keys[i].code < keys[j].code
-	})
-	counts := make([]uint64, len(keys))
-	for i, k := range keys {
-		counts[i] = t.requests[k]
-	}
-	buckets := append([]uint64(nil), t.buckets...)
-	sum, count := t.sum, t.count
-	t.mu.Unlock()
-
-	fmt.Fprintln(w, "# HELP als_requests_total Finished requests by endpoint and status code.")
-	fmt.Fprintln(w, "# TYPE als_requests_total counter")
-	for i, k := range keys {
-		fmt.Fprintf(w, "als_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[i])
-	}
-
-	fmt.Fprintln(w, "# HELP als_request_seconds Request latency.")
-	fmt.Fprintln(w, "# TYPE als_request_seconds histogram")
-	var cum uint64
-	for i, le := range latencyBuckets {
-		cum += buckets[i]
-		fmt.Fprintf(w, "als_request_seconds_bucket{le=\"%g\"} %d\n", le, cum)
-	}
-	fmt.Fprintf(w, "als_request_seconds_bucket{le=\"+Inf\"} %d\n", count)
-	fmt.Fprintf(w, "als_request_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "als_request_seconds_count %d\n", count)
-
-	fmt.Fprintln(w, "# HELP als_inflight_requests Requests currently being handled.")
-	fmt.Fprintln(w, "# TYPE als_inflight_requests gauge")
-	fmt.Fprintf(w, "als_inflight_requests %d\n", t.inflight.Load())
-
-	fmt.Fprintln(w, "# HELP als_shed_total Requests rejected with 429 by the admission queue.")
-	fmt.Fprintln(w, "# TYPE als_shed_total counter")
-	fmt.Fprintf(w, "als_shed_total %d\n", t.shed.Load())
-
-	fmt.Fprintln(w, "# HELP als_model_swaps_total Model hot-swaps since start.")
-	fmt.Fprintln(w, "# TYPE als_model_swaps_total counter")
-	fmt.Fprintf(w, "als_model_swaps_total %d\n", t.swaps.Load())
-
-	fmt.Fprintln(w, "# HELP als_swap_rejected_total Candidate models rejected as corrupt or unreadable; the previous snapshot keeps serving.")
-	fmt.Fprintln(w, "# TYPE als_swap_rejected_total counter")
-	fmt.Fprintf(w, "als_swap_rejected_total %d\n", t.swapRejected.Load())
-
-	if cache != nil {
-		hits, misses := cache.Stats()
-		fmt.Fprintln(w, "# HELP als_cache_hits_total Response cache hits.")
-		fmt.Fprintln(w, "# TYPE als_cache_hits_total counter")
-		fmt.Fprintf(w, "als_cache_hits_total %d\n", hits)
-		fmt.Fprintln(w, "# HELP als_cache_misses_total Response cache misses.")
-		fmt.Fprintln(w, "# TYPE als_cache_misses_total counter")
-		fmt.Fprintf(w, "als_cache_misses_total %d\n", misses)
-		fmt.Fprintln(w, "# HELP als_cache_entries Response cache occupancy.")
-		fmt.Fprintln(w, "# TYPE als_cache_entries gauge")
-		fmt.Fprintf(w, "als_cache_entries %d\n", cache.Len())
-	}
-
-	if sn != nil {
-		fmt.Fprintln(w, "# HELP als_model_info Live model identity (value is always 1).")
-		fmt.Fprintln(w, "# TYPE als_model_info gauge")
-		fmt.Fprintf(w, "als_model_info{version=%q,seq=\"%d\"} 1\n", sn.Version, sn.Seq)
-	}
+// WriteMetrics renders the Prometheus exposition text; collector-backed
+// families (model identity, cache stats, freshness) read the live state at
+// scrape time.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	return t.reg.WritePrometheus(w)
 }

@@ -116,6 +116,7 @@ func (w *Watcher) Poll() (bool, error) {
 			rated = nil
 		}
 		sn := w.srv.Swap(model, rated, "")
+		w.srv.Telemetry().SwapInstalled(w.cfg.Clock.Now())
 		w.installed = c.iter
 		if w.cfg.OnSwap != nil {
 			w.cfg.OnSwap(sn)
