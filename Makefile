@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture ci obs-smoke experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture ci obs-smoke chaos-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -21,8 +21,10 @@ test-short:
 # race pass over the concurrency-heavy packages (worker pool, hot-swap,
 # checkpoint watcher — these exercise goroutines the -short lane trims),
 # the observability smoke lane (a real 1-iteration alstrain run scraped
-# over -debug-addr; fails on unparseable exposition output), and a one-shot
-# bench smoke so benchmark code cannot rot unnoticed.
+# over -debug-addr; fails on unparseable exposition output), the chaos
+# smoke lane (a fully poisoned run must converge, expose its recovery
+# counters, and be bit-reproducible), and a one-shot bench smoke so
+# benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -33,6 +35,7 @@ ci:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/checkpoint ./internal/core ./internal/host ./internal/serve
 	$(MAKE) obs-smoke
+	$(MAKE) chaos-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Observability smoke: build alstrain, run one training iteration with
@@ -40,6 +43,14 @@ ci:
 # Prometheus exposition text plus the Chrome trace and JSONL exports.
 obs-smoke:
 	$(GO) test -run TestAlstrainDebugSmoke -count=1 ./internal/obs
+
+# Chaos smoke: build alstrain, train through a fully poisoned run (NaN/Inf/
+# huge ratings, zeroed Gram diagonals, a forced solver failure, a loss
+# blow-up) and require exit 0, RMSE within 10% of a clean run, non-zero
+# guard counters on /metrics, bit-identical repeat runs, and a fast typed
+# failure under -strict-numerics.
+chaos-smoke:
+	$(GO) test -run TestAlstrainChaosSmoke -count=1 ./internal/guard
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

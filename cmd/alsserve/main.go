@@ -11,6 +11,10 @@
 //	GET  /v1/model                  live model identity and dimensions
 //	GET  /metrics                   Prometheus metrics
 //	GET  /healthz                   liveness (503 until a model is loaded)
+//
+// With -debug-addr a second listener adds /debug/pprof, /healthz
+// (process liveness) and /readyz (model installed, and with
+// -max-staleness the watched checkpoint is fresh enough).
 package main
 
 import (
@@ -42,7 +46,8 @@ func main() {
 	maxN := flag.Int("max-n", 100, "largest accepted n per request")
 	watch := flag.String("watch", "", "checkpoint directory to follow: the newest valid checkpoint is hot-swapped in as training writes it (-model becomes optional)")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll period for -watch")
-	debugAddr := flag.String("debug-addr", "", "serve the same metrics plus process health and /debug/pprof on a second address (keeps profiling off the public listener)")
+	debugAddr := flag.String("debug-addr", "", "serve the same metrics plus process health, /healthz, /readyz and /debug/pprof on a second address (keeps profiling off the public listener)")
+	maxStale := flag.Duration("max-staleness", 0, "readiness bound for -debug-addr's /readyz: fail once the last checkpoint installed by -watch is older than this (0 disables the age check)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -61,7 +66,10 @@ func main() {
 	if *debugAddr != "" {
 		reg := srv.Telemetry().Registry()
 		obs.RegisterProcessMetrics(reg)
-		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Registry: reg,
+			Ready:    serve.Readiness(srv, *maxStale, nil),
+		})
 		if err != nil {
 			fail(err)
 		}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/variant"
 )
@@ -39,6 +40,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoints")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "newest checkpoints to retain (older ones are garbage-collected)")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (fresh start when none exists)")
+	strict := flag.Bool("strict-numerics", false, "fail fast on the first numerical fault instead of climbing the recovery ladder (host platform)")
+	chaosSpec := flag.String("chaos", "", "inject deterministic numerical faults, e.g. nan=1,inf=1,gram=2,fail=1,blowup=2,seed=7 (host platform; tests the resilience layer)")
 	debugAddr := flag.String("debug-addr", "", "serve live /metrics, /runinfo and /debug/pprof on this address during training (e.g. :9090)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the -debug-addr server up this long after training finishes (for scraping short runs)")
 	traceOut := flag.String("trace-out", "", "write the run as a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
@@ -60,6 +63,25 @@ func main() {
 		}
 	}()
 
+	// The numerical guard rides along on every host run: with clean data it
+	// never fires (and the hot path stays allocation-free), with poisoned
+	// data it keeps the run alive — or, under -strict-numerics, makes it die
+	// with a fault that names the iteration and row. Non-host platforms run
+	// guardless as before; asking for -chaos or -strict-numerics there
+	// surfaces core's typed unsupported error instead of silently ignoring
+	// the flag.
+	var gd *guard.Guard
+	if *platform == "host" || *chaosSpec != "" || *strict {
+		gd = guard.New(guard.Policy{Strict: *strict})
+		if *chaosSpec != "" {
+			ch, err := guard.ParseChaos(*chaosSpec)
+			if err != nil {
+				fail(err)
+			}
+			gd.Chaos = ch
+		}
+	}
+
 	// The recorder is nil unless some observability output was requested, so
 	// the default training path stays uninstrumented.
 	var rec *obs.TrainRecorder
@@ -69,6 +91,9 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		rec.Register(reg)
+		if gd != nil {
+			gd.Register(reg)
+		}
 		obs.RegisterProcessMetrics(reg)
 		dbg, err := obs.StartDebug(*debugAddr, reg, func() any { return rec.RunInfo() })
 		if err != nil {
@@ -125,6 +150,17 @@ func main() {
 		}
 		train, test = tr, te
 	}
+	if gd != nil && gd.Chaos.Active() {
+		// Corrupt only the training matrix so the held-out RMSE measures
+		// recovery against clean ground truth.
+		gd.Chaos.Bind(train.Rows())
+		ct, err := gd.Chaos.CorruptMatrix(train)
+		if err != nil {
+			fail(err)
+		}
+		train = ct
+		fmt.Printf("chaos: %s\n", gd.Chaos)
+	}
 
 	cfg := core.Config{
 		K: *k, Lambda: float32(*lambda), Iterations: *iters, Seed: *seed,
@@ -132,6 +168,7 @@ func main() {
 		WeightedLambda: *weighted,
 		CheckpointDir:  *ckptDir, CheckpointEvery: *ckptEvery,
 		CheckpointKeep: *ckptKeep, Resume: *resume, Obs: rec,
+		Guard: gd,
 	}
 	if *variantID != "" {
 		v, err := variant.ParseID(*variantID)
@@ -157,6 +194,11 @@ func main() {
 		kindLabel = "simulated"
 	}
 	fmt.Printf("trained on %s with %s: %.4fs (%s)\n", info.Platform, info.Variant, info.Seconds, kindLabel)
+	if gd != nil {
+		if s := gd.Summary(); s != "" {
+			fmt.Printf("guard: %s\n", s)
+		}
+	}
 	if info.Simulated {
 		fmt.Printf("stage breakdown: S1=%.4fs S2=%.4fs S3=%.4fs\n",
 			info.StageSeconds[0], info.StageSeconds[1], info.StageSeconds[2])

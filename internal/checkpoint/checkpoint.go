@@ -51,6 +51,13 @@ const (
 // holds no valid checkpoint (including when it does not exist yet).
 var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
 
+// ErrCorrupt marks a checkpoint whose bytes decode invalid — a permanent
+// fault of the file itself (bad magic, CRC mismatch, truncation, absurd
+// header), as opposed to a transient I/O error opening it. Load wraps
+// every decode failure with it so consumers (the serve watcher) can
+// distinguish "reject this file forever" from "retry in a moment".
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // State is everything needed to resume training exactly where it stopped:
@@ -359,7 +366,9 @@ func Save(fsys FS, dir string, st *State) (string, error) {
 	return path, nil
 }
 
-// Load reads and verifies one checkpoint file.
+// Load reads and verifies one checkpoint file. Open errors pass through
+// untouched (they may be transient); decode failures are wrapped with
+// ErrCorrupt — the file's bytes are bad and will stay bad.
 func Load(fsys FS, path string) (*State, error) {
 	f, err := fsys.Open(path)
 	if err != nil {
@@ -368,7 +377,7 @@ func Load(fsys FS, path string) (*State, error) {
 	defer f.Close()
 	st, err := Decode(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("%s: %w: %w", filepath.Base(path), ErrCorrupt, err)
 	}
 	return st, nil
 }

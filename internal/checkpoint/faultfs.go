@@ -37,6 +37,12 @@ type Faults struct {
 	// subsequent Crash tears the renamed file down to nothing — the torn
 	// rename a loader must survive.
 	SilentSyncLoss bool
+	// FailOpens fails the next N Open calls (decrementing each time) —
+	// a transient read fault, e.g. a checkpoint listed by ReadDir that a
+	// concurrent writer still holds. Retrying after the budget drains
+	// succeeds, which is exactly what the serve watcher's bounded-retry
+	// path needs to distinguish from permanent corruption. 0 disables.
+	FailOpens int
 }
 
 // MemFS is an in-memory FS with a durability model: every file has a
@@ -148,6 +154,10 @@ func (m *MemFS) Create(name string) (File, error) {
 func (m *MemFS) Open(name string) (io.ReadCloser, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.faults.FailOpens > 0 {
+		m.faults.FailOpens--
+		return nil, fmt.Errorf("memfs: open %s: %w", name, ErrInjected)
+	}
 	b, ok := m.files[filepath.Clean(name)]
 	if !ok {
 		return nil, fmt.Errorf("memfs: open %s: file does not exist", name)

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/device"
+	"repro/internal/guard"
 	"repro/internal/host"
 	"repro/internal/kernels"
 	"repro/internal/linalg"
@@ -111,6 +112,18 @@ type Config struct {
 	// platform only): half-iteration spans, worker utilization, stage
 	// timings, loss points, and checkpoint I/O. See internal/obs.
 	Obs *obs.TrainRecorder
+
+	// Guard, when set, arms the numerical-resilience layer (host platform
+	// only): corrupt ratings are sanitized before training (non-strict
+	// runs mutate the caller's matrix in place), failed row solves climb
+	// the recovery ladder instead of aborting, and a divergence detected
+	// by the watchdog rolls the run back to the last good checkpoint in
+	// CheckpointDir with escalated λ, up to Guard.MaxRollbacks times
+	// before surfacing guard.ErrDiverged. Without CheckpointDir a
+	// rollback restarts from scratch. Checkpoints always record the
+	// configured λ, not an escalated one: escalation is transient
+	// recovery state, and a later Resume must match this config.
+	Guard *guard.Guard
 }
 
 func (c *Config) setDefaults() {
@@ -141,6 +154,9 @@ type RunInfo struct {
 	// ResumedFrom is the completed iteration a resumed run restarted
 	// after (0 = fresh run).
 	ResumedFrom int
+	// Rollbacks counts divergence rollbacks the guard performed during
+	// this run (0 = the run never diverged).
+	Rollbacks int
 }
 
 // Meta carries optional model provenance the serving layer relies on: a
@@ -251,6 +267,9 @@ func Train(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 	if cfg.CheckpointDir != "" && cfg.Platform != PlatformHost {
 		return nil, nil, fmt.Errorf("core: checkpointing is supported on the host platform only (got %q)", cfg.Platform)
 	}
+	if cfg.Guard != nil && cfg.Platform != PlatformHost {
+		return nil, nil, fmt.Errorf("core: the numerical guard is supported on the host platform only (got %q)", cfg.Platform)
+	}
 
 	if cfg.Platform == PlatformHost {
 		return trainHost(mx, cfg)
@@ -275,19 +294,27 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		// BENCH_*.json trajectory); it subsumes the paper's register strip.
 		v = variant.Options{Vector: true, Fused: true}
 	}
+	g := cfg.Guard
+	if g != nil && !g.Strict {
+		// Quarantine corrupt ratings before they poison the Gram matrices
+		// (a single NaN anywhere makes every later loss NaN). This mutates
+		// the caller's matrix in place — both sparse views. Strict runs
+		// skip it so the fault surfaces at the row that hits it.
+		g.SanitizeMatrix(mx)
+	}
 	hostCfg := host.Config{
 		K: cfg.K, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
 		Workers: cfg.Workers, Flat: cfg.Baseline, Variant: v,
 		WeightedLambda: cfg.WeightedLambda, TrackLoss: cfg.TrackLoss,
-		Tolerance: cfg.Tolerance, Obs: cfg.Obs,
+		Tolerance: cfg.Tolerance, Obs: cfg.Obs, Guard: g,
 	}
 	var preHistory []host.IterStats
 	resumedFrom := 0
+	fsys := cfg.CheckpointFS
+	if fsys == nil {
+		fsys = checkpoint.OS
+	}
 	if cfg.CheckpointDir != "" {
-		fsys := cfg.CheckpointFS
-		if fsys == nil {
-			fsys = checkpoint.OS
-		}
 		if cfg.Resume {
 			loadStart := time.Now()
 			st, _, err := checkpoint.LoadLatest(fsys, cfg.CheckpointDir)
@@ -342,14 +369,56 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		}
 	}
 	start := time.Now()
-	res, err := host.Train(mx, hostCfg)
-	if err != nil {
-		return nil, nil, err
+	// The divergence-rollback loop: host.Train either completes, fails
+	// hard, or surfaces guard.DivergedError from the watchdog. On
+	// divergence (non-strict guard, rollback budget left) the run restarts
+	// from the last good checkpoint — which exists because the watchdog
+	// vets factors before the checkpoint hook runs — with λ escalated so
+	// the replay is better conditioned than the attempt that diverged.
+	// Checkpoints keep recording the ORIGINAL λ (see Config.Guard).
+	curLambda := cfg.Lambda
+	rollbacks := 0
+	var res *host.Result
+	for {
+		hostCfg.Lambda = curLambda
+		var err error
+		res, err = host.Train(mx, hostCfg)
+		if err == nil {
+			break
+		}
+		var de *guard.DivergedError
+		if g == nil || g.Strict || !errors.As(err, &de) {
+			return nil, nil, err
+		}
+		if rollbacks >= g.MaxRollbacks {
+			return nil, nil, fmt.Errorf("core: %d rollbacks exhausted: %w", rollbacks, err)
+		}
+		rollbacks++
+		g.NoteRollback()
+		cfg.Obs.RecordRollback(de.Iteration, de.Loss)
+		curLambda *= g.LambdaEscalation
+		hostCfg.StartIteration = 0
+		hostCfg.ResumeX, hostCfg.ResumeY = nil, nil
+		preHistory = nil // the checkpoint hook closure reads this variable
+		if cfg.CheckpointDir != "" {
+			st, _, lerr := checkpoint.LoadLatest(fsys, cfg.CheckpointDir)
+			switch {
+			case lerr == nil:
+				hostCfg.StartIteration = st.Iteration
+				hostCfg.ResumeX, hostCfg.ResumeY = st.X, st.Y
+				preHistory = st.History
+			case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+				// Diverged before the first checkpoint: restart from scratch.
+			default:
+				return nil, nil, fmt.Errorf("core: rolling back from %s: %w", cfg.CheckpointDir, lerr)
+			}
+		}
 	}
 	info := &RunInfo{
 		Platform: PlatformHost, Variant: variantName(cfg.Baseline, v),
 		Seconds: time.Since(start).Seconds(),
 		History: concatHistory(preHistory, res.History), ResumedFrom: resumedFrom,
+		Rollbacks: rollbacks,
 	}
 	mod := &Model{K: cfg.K, X: res.X, Y: res.Y,
 		Meta: Meta{Lambda: cfg.Lambda, WeightedLambda: cfg.WeightedLambda}}

@@ -28,6 +28,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -88,6 +90,15 @@ type Config struct {
 	// aborts training — a checkpoint that cannot be written should stop a
 	// run that depends on being resumable.
 	OnIteration func(it int, x, y *linalg.Dense, history []IterStats) error
+
+	// Guard, when set, arms the numerical-resilience layer: the solver
+	// recovery ladder in the row-update kernel (ridge jitter → LDLᵀ → skip
+	// instead of aborting the run), the divergence watchdog at the
+	// iteration boundary (typed guard.DivergedError the caller can answer
+	// with a checkpoint rollback), and any configured chaos injection. Nil
+	// — the library default — keeps the pre-guard fail-fast behavior
+	// bit-for-bit, as does Guard.Strict apart from typed errors.
+	Guard *guard.Guard
 
 	// Obs, when set, receives the training-run observability stream:
 	// half-iteration spans, per-worker utilization, per-stage kernel time,
@@ -219,14 +230,23 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	}
 
 	cfg.Obs.SetShape(m, n, mx.NNZ(), pool.workers, variantLabel(cfg))
+	if cfg.Guard != nil {
+		cfg.Guard.SetVariant(variantLabel(cfg))
+		var sq float64
+		for _, v := range mx.R.Val {
+			sq += float64(v) * float64(v)
+		}
+		cfg.Guard.SetLossScale(sq)
+	}
 	res := &Result{X: x, Y: y}
 	start := time.Now()
 	prevLoss := math.Inf(1)
 	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
 		cfg.Obs.BeginHalf(it, "X", m, mx.NNZ(), pool.workers)
-		err := pool.runHalf(mx.R, y, x, orderX, chunkX)
+		err := pool.runHalf(mx.R, y, x, orderX, chunkX, it, true)
 		cfg.Obs.EndHalf()
 		if err != nil {
+			annotateRowError(err, it)
 			return nil, fmt.Errorf("host: iteration %d update X: %w", it, err)
 		}
 		if cfg.TrackLoss {
@@ -237,9 +257,10 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 			cfg.Obs.RecordLoss(it, "X", loss)
 		}
 		cfg.Obs.BeginHalf(it, "Y", n, mx.NNZ(), pool.workers)
-		err = pool.runHalf(rt, x, y, orderY, chunkY)
+		err = pool.runHalf(rt, x, y, orderY, chunkY, it, false)
 		cfg.Obs.EndHalf()
 		if err != nil {
+			annotateRowError(err, it)
 			return nil, fmt.Errorf("host: iteration %d update Y: %w", it, err)
 		}
 		if cfg.TrackLoss {
@@ -248,6 +269,28 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 				Iteration: it, Half: "Y", Loss: loss, Elapsed: time.Since(start),
 			})
 			cfg.Obs.RecordLoss(it, "Y", loss)
+		}
+		// Divergence watchdog: with the workers parked the factors are
+		// stable, so this is the safe point to vet them — and it runs
+		// before OnIteration so diverged factors are never checkpointed.
+		// A chaos blow-up lands here too (after the half losses were
+		// recorded, mimicking corruption that strikes between iterations),
+		// in which case the vetted loss must be recomputed from the
+		// corrupted factors rather than reused.
+		if g := cfg.Guard; g != nil {
+			blew := g.Chaos.BlowUp(it)
+			if blew {
+				g.Chaos.CorruptFactors(x.Data)
+			}
+			var loss float64
+			if cfg.TrackLoss && !blew {
+				loss = res.History[len(res.History)-1].Loss
+			} else {
+				loss = metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+			}
+			if err := g.CheckIteration(it, x.Data, y.Data, loss); err != nil {
+				return nil, fmt.Errorf("host: iteration %d: %w", it, err)
+			}
 		}
 		// Workers are parked between halves, so the factors are stable here.
 		if cfg.OnIteration != nil {
@@ -273,6 +316,15 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// annotateRowError fills the iteration into a guard.RowError bubbling out
+// of the worker pool — the workers know the row but not the iteration.
+func annotateRowError(err error, it int) {
+	var re *guard.RowError
+	if errors.As(err, &re) && re.Iteration == 0 {
+		re.Iteration = it
+	}
 }
 
 // variantLabel names the run's code variant for observability output,
@@ -336,6 +388,8 @@ type halfJob struct {
 	fixed, out *linalg.Dense
 	order      []int32 // LPT permutation; nil = natural order
 	chunk      int
+	iter       int  // 1-based full iteration (guard/chaos addressing)
+	xHalf      bool // true for the X half, false for the Y half
 	cursor     atomic.Int64
 	err        atomic.Value
 	wg         sync.WaitGroup
@@ -367,8 +421,8 @@ func (p *workerPool) close() {
 }
 
 // runHalf broadcasts one job to every worker and waits for the rendezvous.
-func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []int32, chunk int) error {
-	job := &halfJob{r: r, fixed: fixed, out: out, order: order, chunk: chunk}
+func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []int32, chunk, iter int, xHalf bool) error {
+	job := &halfJob{r: r, fixed: fixed, out: out, order: order, chunk: chunk, iter: iter, xHalf: xHalf}
 	job.wg.Add(p.workers)
 	for i := 0; i < p.workers; i++ {
 		p.jobs <- job
@@ -418,7 +472,14 @@ func (p *workerPool) work(job *halfJob, ws *workerState) (chunks, rows int) {
 			hi := (blk + 1) * m / p.workers
 			chunks++
 			for u := lo; u < hi; u++ {
-				if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
+				// Re-check the shared error inside the block too: a flat
+				// block is m/W rows, and finishing it after another worker
+				// poisoned the half is wasted (and, under guard, soon
+				// rolled-back) work.
+				if job.err.Load() != nil {
+					return
+				}
+				if err := updateRow(job.r, job.fixed, job.out, u, job.iter, job.xHalf, p.cfg, ws); err != nil {
 					job.err.CompareAndSwap(nil, err)
 					return
 				}
@@ -438,11 +499,16 @@ func (p *workerPool) work(job *halfJob, ws *workerState) (chunks, rows int) {
 		}
 		chunks++
 		for i := base; i < end; i++ {
+			// Bail mid-chunk once any worker has failed the half — the
+			// cursor check above only runs between claims.
+			if job.err.Load() != nil {
+				return
+			}
 			u := i
 			if job.order != nil {
 				u = int(job.order[i])
 			}
-			if err := updateRow(job.r, job.fixed, job.out, u, p.cfg, ws); err != nil {
+			if err := updateRow(job.r, job.fixed, job.out, u, job.iter, job.xHalf, p.cfg, ws); err != nil {
 				job.err.CompareAndSwap(nil, err)
 				return
 			}
@@ -500,7 +566,18 @@ func (ws *workerState) ensureStage(omega, k int) {
 // updateRow solves one row's normal equations (Algorithm 2 body). With a
 // warmed workerState it performs no allocations (the package tests assert
 // zero allocs per row for every variant).
-func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *workerState) error {
+//
+// Solver failures (ErrNotSPD, or a chaos-forced failure) take one of two
+// paths. Without a Guard, or in strict mode, the pre-guard behavior holds:
+// one LDLᵀ retry for borderline systems, then a hard error — typed as
+// guard.RowError when a Guard is armed so strict runs name the failing
+// row. With a non-strict Guard the row climbs the recovery ladder instead:
+// re-solve with 2× then 10× ridge jitter added to the diagonal, fall back
+// to LDLᵀ, and finally skip the row keeping its last-good factors; every
+// rescue is counted on its rung. Each rung re-assembles the full system
+// (Gram and right-hand side) because a rejected-but-completed solve has
+// already overwritten the RHS with garbage.
+func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u, iter int, xHalf bool, cfg Config, ws *workerState) error {
 	k := cfg.K
 	cols, vals := r.Row(u)
 	omega := len(cols)
@@ -510,6 +587,13 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 			xu[i] = 0
 		}
 		return nil
+	}
+
+	g := cfg.Guard
+	var chaosGram, forced bool
+	if g != nil && g.Chaos != nil {
+		chaosGram = g.Chaos.CorruptGram(iter, u, xHalf)
+		forced = g.Chaos.FailSolve(iter, u, xHalf)
 	}
 
 	src := fixed.Data
@@ -542,23 +626,53 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 	if !cfg.Flat && cfg.Variant.Fused {
 		// Fused S1+S2: one sweep over the gathered rows accumulates the
 		// packed upper-triangular Gram and the right-hand side together,
-		// then a packed Cholesky solves in place.
+		// then a packed Cholesky solves in place. The chaos diagonal
+		// zeroing lands after λ (making the system exactly singular) but
+		// before any recovery jitter, so the jitter rungs genuinely repair
+		// it rather than re-assembling a healthy matrix.
 		fused := linalg.GramRHSFused
 		if cfg.Variant.Vector {
 			fused = linalg.GramRHSFusedUnrolled
 		}
 		fused(src, k, gcols, gvals, ws.pmat, ws.svec)
 		linalg.AddDiagPacked(ws.pmat, k, lam)
+		if chaosGram {
+			linalg.ZeroDiagPacked(ws.pmat, k)
+		}
 		if ws.timed {
 			now := time.Now()
 			ws.stage[obs.StageS12] += now.Sub(t0)
 			t0 = now
 		}
-		if err := linalg.CholeskySolvePacked(ws.pmat, k, ws.svec); err != nil {
-			fused(src, k, gcols, gvals, ws.pmat, ws.svec)
-			linalg.AddDiagPacked(ws.pmat, k, lam)
-			if err := linalg.LDLSolvePacked(ws.pmat, k, ws.svec, ws.ldl); err != nil {
-				return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
+		var err error
+		if forced {
+			err = guard.ErrForcedFailure
+		} else {
+			err = linalg.CholeskySolvePacked(ws.pmat, k, ws.svec)
+		}
+		if err != nil {
+			// Recovery is cold by construction, so the closures (and their
+			// heap allocation) exist only on this branch: the happy path
+			// stays allocation-free.
+			assemble := func(extra float32) {
+				fused(src, k, gcols, gvals, ws.pmat, ws.svec)
+				linalg.AddDiagPacked(ws.pmat, k, lam)
+				if chaosGram {
+					linalg.ZeroDiagPacked(ws.pmat, k)
+				}
+				if extra != 0 {
+					linalg.AddDiagPacked(ws.pmat, k, extra)
+				}
+			}
+			skip, rerr := recoverRow(g, forced, lam, assemble,
+				func() error { return linalg.CholeskySolvePacked(ws.pmat, k, ws.svec) },
+				func() error { return linalg.LDLSolvePacked(ws.pmat, k, ws.svec, ws.ldl) },
+				ws.svec, u, omega, err)
+			if rerr != nil || skip {
+				if ws.timed {
+					ws.stage[obs.StageS3] += time.Since(t0)
+				}
+				return rerr
 			}
 		}
 		if ws.timed {
@@ -569,18 +683,11 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 	}
 
 	// S1: smat = FᵀF|Ω.
-	gram := func() {
-		switch {
-		case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
-			linalg.GramScatter(src, k, gcols, ws.smat.Data, ws.gsum)
-		case cfg.Variant.Vector:
-			linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
-		default:
-			linalg.GramRegister(src, k, gcols, ws.smat.Data)
-		}
-	}
-	gram()
+	gramKernel(cfg, src, k, gcols, ws)
 	ws.smat.AddDiag(lam)
+	if chaosGram {
+		zeroDiagDense(ws.smat, k)
+	}
 	if ws.timed {
 		now := time.Now()
 		ws.stage[obs.StageS1] += now.Sub(t0)
@@ -588,23 +695,44 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 	}
 
 	// S2: svec = Fᵀ r_u.
-	if !cfg.Flat && cfg.Variant.Vector {
-		linalg.GatherGaxpyUnrolled(src, k, gcols, gvals, ws.svec)
-	} else {
-		linalg.GatherGaxpy(src, k, gcols, gvals, ws.svec)
-	}
+	rhsKernel(cfg, src, k, gcols, gvals, ws.svec)
 	if ws.timed {
 		now := time.Now()
 		ws.stage[obs.StageS2] += now.Sub(t0)
 		t0 = now
 	}
 
-	// S3: Cholesky solve; LDL fallback for borderline systems (λ = 0).
-	if err := linalg.CholeskySolve(ws.smat, ws.svec); err != nil {
-		gram()
-		ws.smat.AddDiag(lam)
-		if err := linalg.LDLSolve(ws.smat, ws.svec); err != nil {
-			return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
+	// S3: Cholesky solve; failures go through recoverRow (pre-guard LDLᵀ
+	// fallback for borderline λ = 0 systems, or the guard's ladder).
+	var err error
+	if forced {
+		err = guard.ErrForcedFailure
+	} else {
+		err = linalg.CholeskySolve(ws.smat, ws.svec)
+	}
+	if err != nil {
+		assemble := func(extra float32) {
+			gramKernel(cfg, src, k, gcols, ws)
+			ws.smat.AddDiag(lam)
+			if chaosGram {
+				zeroDiagDense(ws.smat, k)
+			}
+			if extra != 0 {
+				ws.smat.AddDiag(extra)
+			}
+			// The S2 kernels zero svec before accumulating, so this fully
+			// restores a right-hand side clobbered by a rejected solve.
+			rhsKernel(cfg, src, k, gcols, gvals, ws.svec)
+		}
+		skip, rerr := recoverRow(g, forced, lam, assemble,
+			func() error { return linalg.CholeskySolve(ws.smat, ws.svec) },
+			func() error { return linalg.LDLSolve(ws.smat, ws.svec) },
+			ws.svec, u, omega, err)
+		if rerr != nil || skip {
+			if ws.timed {
+				ws.stage[obs.StageS3] += time.Since(t0)
+			}
+			return rerr
 		}
 	}
 	if ws.timed {
@@ -612,4 +740,101 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u int, cfg Config, ws *w
 	}
 	copy(xu, ws.svec)
 	return nil
+}
+
+// gramKernel runs the variant's S1 kernel into ws.smat.
+func gramKernel(cfg Config, src []float32, k int, gcols []int32, ws *workerState) {
+	switch {
+	case cfg.Flat || (!cfg.Variant.Register && !cfg.Variant.Vector):
+		linalg.GramScatter(src, k, gcols, ws.smat.Data, ws.gsum)
+	case cfg.Variant.Vector:
+		linalg.GramUnrolled(src, k, gcols, ws.smat.Data)
+	default:
+		linalg.GramRegister(src, k, gcols, ws.smat.Data)
+	}
+}
+
+// rhsKernel runs the variant's S2 kernel into svec.
+func rhsKernel(cfg Config, src []float32, k int, gcols []int32, gvals, svec []float32) {
+	if !cfg.Flat && cfg.Variant.Vector {
+		linalg.GatherGaxpyUnrolled(src, k, gcols, gvals, svec)
+	} else {
+		linalg.GatherGaxpy(src, k, gcols, gvals, svec)
+	}
+}
+
+// recoverRow handles a failed row solve. Without a guard, or in strict
+// mode, it preserves the pre-guard behavior: one LDLᵀ retry on the
+// re-assembled system (skipped for chaos-forced failures), then a hard
+// error — typed via rowFailure. With a non-strict guard it climbs the
+// recovery ladder; if every rung fails it reports skip=true and the caller
+// keeps the row's last-good factors. On (false, nil) the scratch RHS holds
+// a usable solution.
+func recoverRow(g *guard.Guard, forced bool, lam float32, assemble func(extra float32), solve, ldl func() error, svec []float32, u, omega int, firstErr error) (skip bool, err error) {
+	if g == nil || g.Strict {
+		if !forced {
+			assemble(0)
+			if lerr := ldl(); lerr == nil {
+				return false, nil
+			} else {
+				firstErr = lerr
+			}
+		}
+		return false, rowFailure(g, u, omega, firstErr)
+	}
+	if climbLadder(g, forced, lam, assemble, solve, ldl, svec) {
+		return false, nil
+	}
+	g.Recovered(guard.RungSkip)
+	return true, nil
+}
+
+// climbLadder walks the guard's recovery rungs for one failed row solve:
+// ridge jitter at 2× then 10× the effective λ (floored for λ = 0 runs,
+// where a multiple of zero would jitter nothing), then LDLᵀ on the
+// unjittered system. Each rung re-assembles the system via assemble and
+// accepts only a finite solution — LDLᵀ on an indefinite matrix can
+// "succeed" with garbage. Chaos-forced failures fail every rung, driving
+// the row to the skip rung (handled by the caller when this returns
+// false). YᵀY is PSD, so YᵀY + λI + εI is SPD for any ε > 0: the jitter
+// rungs genuinely rescue rank-deficient rows rather than papering over a
+// logic bug.
+func climbLadder(g *guard.Guard, forced bool, lam float32, assemble func(extra float32), solve, ldl func() error, svec []float32) bool {
+	if forced {
+		return false
+	}
+	base := lam
+	if base <= 0 {
+		base = guard.MinJitterBase
+	}
+	for rung, mult := range guard.JitterMultipliers {
+		assemble(base * mult)
+		if solve() == nil && guard.FiniteVec(svec) {
+			g.Recovered(guard.RungJitter2 + rung)
+			return true
+		}
+	}
+	assemble(0)
+	if ldl() == nil && guard.FiniteVec(svec) {
+		g.Recovered(guard.RungLDL)
+		return true
+	}
+	return false
+}
+
+// rowFailure wraps a fatal row-solve error: typed guard.RowError when a
+// guard is armed (strict mode), the pre-guard plain error otherwise.
+func rowFailure(g *guard.Guard, u, omega int, err error) error {
+	if g != nil {
+		return &guard.RowError{Row: u, Omega: omega, Err: err}
+	}
+	return fmt.Errorf("row %d (omega=%d): %w", u, omega, err)
+}
+
+// zeroDiagDense zeroes the diagonal of the k×k scratch Gram — the dense
+// twin of linalg.ZeroDiagPacked for the chaos harness.
+func zeroDiagDense(a *linalg.Dense, k int) {
+	for i := 0; i < k; i++ {
+		a.Data[i*k+i] = 0
+	}
 }

@@ -37,6 +37,17 @@ func AddDiagPacked(p []float32, k int, lambda float32) {
 	}
 }
 
+// ZeroDiagPacked zeroes every diagonal element of a packed k×k symmetric
+// matrix, making it exactly singular — the guard chaos harness uses it to
+// force ErrNotSPD out of the packed Cholesky.
+func ZeroDiagPacked(p []float32, k int) {
+	d := 0
+	for i := 0; i < k; i++ {
+		p[d] = 0
+		d += k - i
+	}
+}
+
 // PackedToDense expands a packed upper-triangular matrix into a full dense
 // symmetric matrix (both triangles). Used by tests and diagnostics.
 func PackedToDense(p []float32, k int) *Dense {

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func isFinite(v []float32) bool {
+	for _, f := range v {
+		if f64 := float64(f); math.IsNaN(f64) || math.IsInf(f64, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolversOnDegenerateSystems holds both factorizations to the guard
+// layer's contract on pathological normal equations: Cholesky must reject
+// them with ErrNotSPD (never return garbage), and LDLSolve must either
+// produce a fully finite solution or fail with the same typed error —
+// silent NaN is the one outcome the recovery ladder cannot handle.
+func TestSolversOnDegenerateSystems(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Dense
+	}{
+		{"zero matrix", func() *Dense { return NewDense(4, 4) }},
+		{"zero gram diagonal", func() *Dense {
+			// A healthy Gram with row/col 2 zeroed — exactly what the chaos
+			// injector's CorruptGram produces for a cold user.
+			a := gramOf(4, 8, rand.New(rand.NewSource(1)))
+			for j := 0; j < 4; j++ {
+				a.Set(2, j, 0)
+				a.Set(j, 2, 0)
+			}
+			return a
+		}},
+		{"negative diagonal", func() *Dense {
+			a := NewDense(3, 3)
+			a.Set(0, 0, 1)
+			a.Set(1, 1, -2)
+			a.Set(2, 2, 1)
+			return a
+		}},
+		{"rank-1 outer product", func() *Dense {
+			// v·vᵀ has rank 1: the second pivot is exactly zero.
+			v := []float32{1, 2, 3}
+			a := NewDense(3, 3)
+			for i := range v {
+				for j := range v {
+					a.Set(i, j, v[i]*v[j])
+				}
+			}
+			return a
+		}},
+		{"nan entry", func() *Dense {
+			a := NewDense(3, 3)
+			a.Set(0, 0, 2)
+			a.Set(1, 1, float32(math.NaN()))
+			a.Set(2, 2, 2)
+			return a
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := []float32{1, 1, 1, 1}[:tc.build().Rows]
+			if err := Cholesky(tc.build()); !errors.Is(err, ErrNotSPD) {
+				t.Fatalf("Cholesky error = %v, want ErrNotSPD", err)
+			}
+			x := append([]float32(nil), b...)
+			switch err := LDLSolve(tc.build(), x); {
+			case err == nil:
+				if !isFinite(x) {
+					t.Fatalf("LDLSolve returned no error but a non-finite solution: %v", x)
+				}
+			case !errors.Is(err, ErrNotSPD):
+				t.Fatalf("LDLSolve error = %v, want ErrNotSPD", err)
+			}
+		})
+	}
+}
+
+// gramOf builds G = YᵀY from omega random k-vectors: PSD by construction,
+// and rank-deficient (hence singular) whenever omega < k.
+func gramOf(k, omega int, rng *rand.Rand) *Dense {
+	y := make([][]float32, omega)
+	for t := range y {
+		y[t] = make([]float32, k)
+		for i := range y[t] {
+			y[t][i] = float32(rng.NormFloat64())
+		}
+	}
+	g := NewDense(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			var s float64
+			for t := 0; t < omega; t++ {
+				s += float64(y[t][i]) * float64(y[t][j])
+			}
+			g.Set(i, j, float32(s))
+		}
+	}
+	return g
+}
+
+// TestJitteredSolvesFinite is the property behind the recovery ladder's
+// jitter rungs: G = YᵀY from omega < k ratings is singular and Cholesky
+// rejects it, but G + εI is SPD for any ε > 0 and the jittered solve must
+// succeed with a fully finite solution — for every k the ALS kernels use
+// and across many random rank-deficient systems.
+func TestJitteredSolvesFinite(t *testing.T) {
+	const trials = 25
+	for _, k := range []int{8, 16, 32} {
+		for _, jitter := range []float32{2e-6, 1e-5} { // the ladder's 2λ and 10λ rungs at the λ=0 floor
+			rng := rand.New(rand.NewSource(int64(k)))
+			for trial := 0; trial < trials; trial++ {
+				omega := 1 + rng.Intn(k-1) // strictly fewer ratings than factors
+				g := gramOf(k, omega, rng)
+				b := make([]float32, k)
+				for i := range b {
+					b[i] = float32(rng.NormFloat64())
+				}
+
+				bare := append([]float32(nil), b...)
+				if err := CholeskySolve(g.Clone(), bare); err == nil && !isFinite(bare) {
+					t.Fatalf("k=%d omega=%d: bare solve of singular system returned non-finite x silently", k, omega)
+				}
+
+				jg := g.Clone()
+				jg.AddDiag(jitter)
+				x := append([]float32(nil), b...)
+				if err := CholeskySolve(jg, x); err != nil {
+					t.Fatalf("k=%d omega=%d jitter=%g: jittered solve failed: %v", k, omega, jitter, err)
+				}
+				if !isFinite(x) {
+					t.Fatalf("k=%d omega=%d jitter=%g: jittered solve returned non-finite x", k, omega, jitter)
+				}
+			}
+		}
+	}
+}

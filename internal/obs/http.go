@@ -11,44 +11,87 @@ import (
 
 // DebugServer is the live inspection endpoint a long run exposes via
 // -debug-addr: Prometheus /metrics, /runinfo (a JSON snapshot of the run),
-// and the full net/http/pprof suite under /debug/pprof/.
+// /healthz and /readyz probes, and the full net/http/pprof suite under
+// /debug/pprof/.
 type DebugServer struct {
 	srv *http.Server
 	lis net.Listener
 }
 
-// StartDebug listens on addr (":0" picks a free port; see Addr) and serves
-// the debug endpoints in a background goroutine. reg may be nil (serves an
-// empty but valid exposition); runinfo may be nil (404s /runinfo).
-func StartDebug(addr string, reg *Registry, runinfo func() any) (*DebugServer, error) {
+// DebugConfig selects what a debug server exposes. Every field is
+// optional: a zero config still serves an empty-but-valid /metrics,
+// always-200 probes, and pprof.
+type DebugConfig struct {
+	// Registry backs GET /metrics (nil serves an empty exposition).
+	Registry *Registry
+	// RunInfo backs GET /runinfo (nil 404s the route).
+	RunInfo func() any
+	// Live backs GET /healthz: nil or a nil return is 200 "ok", an error
+	// is 503 with the message. Liveness should fail only when the process
+	// is beyond recovery (a restart would help).
+	Live func() error
+	// Ready backs GET /readyz the same way. Readiness gates traffic: fail
+	// it while the process is alive but should not receive requests yet
+	// (no model installed, checkpoint too stale).
+	Ready func() error
+}
+
+// DebugMux builds the debug route table without binding a listener, so
+// tests can drive it through net/http/httptest.
+func DebugMux(cfg DebugConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if reg != nil {
-			reg.WritePrometheus(w)
+		if cfg.Registry != nil {
+			cfg.Registry.WritePrometheus(w)
 		}
 	})
-	if runinfo != nil {
+	if cfg.RunInfo != nil {
 		mux.HandleFunc("GET /runinfo", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			enc.Encode(runinfo())
+			enc.Encode(cfg.RunInfo())
 		})
 	}
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte("ok\n"))
+		}
+	}
+	mux.HandleFunc("GET /healthz", probe(cfg.Live))
+	mux.HandleFunc("GET /readyz", probe(cfg.Ready))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// StartDebugServer listens on addr (":0" picks a free port; see Addr) and
+// serves DebugMux(cfg) in a background goroutine.
+func StartDebugServer(addr string, cfg DebugConfig) (*DebugServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	d := &DebugServer{srv: &http.Server{Handler: mux}, lis: lis}
+	d := &DebugServer{srv: &http.Server{Handler: DebugMux(cfg)}, lis: lis}
 	go d.srv.Serve(lis)
 	return d, nil
+}
+
+// StartDebug is StartDebugServer with the pre-probe signature, kept for
+// callers that only expose metrics and run info.
+func StartDebug(addr string, reg *Registry, runinfo func() any) (*DebugServer, error) {
+	return StartDebugServer(addr, DebugConfig{Registry: reg, RunInfo: runinfo})
 }
 
 // Addr returns the bound listen address (useful with ":0").

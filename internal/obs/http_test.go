@@ -2,8 +2,12 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -60,6 +64,70 @@ func TestDebugServerEndpoints(t *testing.T) {
 
 	get("/debug/pprof/cmdline")
 	get("/debug/pprof/heap?debug=1")
+}
+
+// TestDebugMuxProbes drives /healthz and /readyz through httptest: an
+// unset probe answers 200, a failing probe answers 503 with the reason, and
+// a probe flipping healthy is reflected on the next request.
+func TestDebugMuxProbes(t *testing.T) {
+	var mu sync.Mutex
+	readyErr := errors.New("no model installed")
+	mux := DebugMux(DebugConfig{
+		Registry: NewRegistry(),
+		Ready: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return readyErr
+		},
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	probe := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// No Live probe configured: liveness is unconditionally OK.
+	if code, body := probe("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// The readiness probe fails: 503 carrying the reason.
+	if code, body := probe("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "no model installed") {
+		t.Fatalf("/readyz = %d %q, want 503 with reason", code, body)
+	}
+	mu.Lock()
+	readyErr = nil
+	mu.Unlock()
+	if code, body := probe("/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/readyz after recovery = %d %q", code, body)
+	}
+	// The rest of the mux serves alongside the probes.
+	if code, _ := probe("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+}
+
+// TestDebugMuxLiveProbe: a failing liveness probe turns /healthz into 503.
+func TestDebugMuxLiveProbe(t *testing.T) {
+	mux := DebugMux(DebugConfig{Live: func() error { return errors.New("deadlocked") }})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "deadlocked") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
 }
 
 func readerOf(s string) io.Reader { return &stringReader{s: s} }

@@ -51,8 +51,9 @@ type WorkerHalf struct {
 }
 
 // RunEvent is one entry of the structured run-event log: a completed half
-// iteration ("half"), a loss measurement ("loss"), or a checkpoint I/O
-// ("checkpoint"). TMS is the event's start offset since the run began.
+// iteration ("half"), a loss measurement ("loss"), a checkpoint I/O
+// ("checkpoint"), or a divergence rollback ("rollback"). TMS is the
+// event's start offset since the run began.
 type RunEvent struct {
 	Event      string             `json:"event"`
 	TMS        float64            `json:"t_ms"`
@@ -295,6 +296,19 @@ func (r *TrainRecorder) RecordLoss(iter int, half string, loss float64) {
 	}
 }
 
+// RecordRollback logs one divergence rollback: the iteration whose loss
+// (or factors) tripped the watchdog and the offending loss value.
+func (r *TrainRecorder) RecordRollback(iter int, loss float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := loss
+	r.events = append(r.events, RunEvent{Event: "rollback", TMS: msSince(r.start, time.Now()),
+		Iter: iter, Loss: &l})
+}
+
 // RecordCheckpoint logs one checkpoint save or load, its duration, the
 // encoded byte count, and whether it failed.
 func (r *TrainRecorder) RecordCheckpoint(op string, d time.Duration, bytes int64, err error) {
@@ -463,6 +477,13 @@ func (r *TrainRecorder) WriteChromeTrace(w io.Writer) error {
 				tes = append(tes, traceEvent{Name: "loss", Ph: "C", TS: ts, PID: 1, TID: traceTIDLoop,
 					Args: map[string]any{"loss": *ev.Loss}})
 			}
+		case "rollback":
+			args := map[string]any{"iter": ev.Iter}
+			if ev.Loss != nil {
+				args["loss"] = *ev.Loss
+			}
+			tes = append(tes, traceEvent{Name: "rollback", Cat: "guard", Ph: "i", TS: ts,
+				PID: 1, TID: traceTIDLoop, Args: args})
 		case "checkpoint":
 			args := map[string]any{"bytes": ev.Bytes}
 			if ev.Error != "" {

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// TestWatcherRetriesTransientErrors: a candidate whose open fails
+// transiently (fault-injected) must not be rejected — the watcher backs
+// off, retries on later polls, and installs the checkpoint once the fault
+// clears. Corruption is permanent; an EIO is not.
+func TestWatcherRetriesTransientErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	fsys := checkpoint.NewMemFS()
+	clk := checkpoint.NewFakeClock(time.Unix(0, 0))
+	var rejected []string
+	w := NewWatcher(s, WatcherConfig{
+		Dir: "ckpts", FS: fsys, Clock: clk,
+		MaxRetries: 5, RetryBackoff: 100 * time.Millisecond,
+		OnReject: func(path string, err error) { rejected = append(rejected, path) },
+	})
+
+	saveCheckpoint(t, fsys, "ckpts", 1, 1, 4, 6, 3)
+	fsys.SetFaults(checkpoint.Faults{FailOpens: 2})
+
+	// Attempt 1 fails; the candidate must back off, not be rejected.
+	if swapped, err := w.Poll(); swapped || err != nil {
+		t.Fatalf("poll under fault = (%v, %v)", swapped, err)
+	}
+	if len(rejected) != 0 || s.Telemetry().SwapRejectedCount() != 0 {
+		t.Fatalf("transient failure rejected: %v", rejected)
+	}
+	// An immediate re-poll is inside the backoff window: the candidate is
+	// skipped without touching the FS, so the remaining fault budget (1)
+	// must survive to the next real attempt.
+	if swapped, _ := w.Poll(); swapped {
+		t.Fatal("backing-off candidate was loaded inside its backoff window")
+	}
+	// Past the backoff: attempt 2 consumes the last injected fault.
+	clk.Advance(time.Second)
+	if swapped, _ := w.Poll(); swapped {
+		t.Fatal("swap succeeded while the open fault was still armed")
+	}
+	// Past the (doubled) backoff again: attempt 3 succeeds and installs.
+	clk.Advance(2 * time.Second)
+	if swapped, err := w.Poll(); !swapped || err != nil {
+		t.Fatalf("poll after fault cleared = (%v, %v), want swap", swapped, err)
+	}
+	if v := s.Current().Version; v != "ckpt-1" {
+		t.Fatalf("version = %s, want ckpt-1", v)
+	}
+	if len(rejected) != 0 || s.Telemetry().SwapRejectedCount() != 0 {
+		t.Fatalf("recovered candidate was counted rejected: %v", rejected)
+	}
+}
+
+// TestWatcherRejectsAfterRetriesExhausted: a candidate that keeps failing
+// transiently is rejected exactly once after MaxRetries attempts, and the
+// watcher moves on to later checkpoints.
+func TestWatcherRejectsAfterRetriesExhausted(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	fsys := checkpoint.NewMemFS()
+	clk := checkpoint.NewFakeClock(time.Unix(0, 0))
+	var rejected []string
+	w := NewWatcher(s, WatcherConfig{
+		Dir: "ckpts", FS: fsys, Clock: clk,
+		MaxRetries: 3, RetryBackoff: 50 * time.Millisecond,
+		OnReject: func(path string, err error) { rejected = append(rejected, path) },
+	})
+
+	saveCheckpoint(t, fsys, "ckpts", 1, 1, 4, 6, 3)
+	fsys.SetFaults(checkpoint.Faults{FailOpens: 1000})
+	for i := 0; i < 3; i++ {
+		if swapped, err := w.Poll(); swapped || err != nil {
+			t.Fatalf("poll %d = (%v, %v)", i, swapped, err)
+		}
+		clk.Advance(time.Minute)
+	}
+	if len(rejected) != 1 {
+		t.Fatalf("rejected %v, want the exhausted candidate once", rejected)
+	}
+	if n := s.Telemetry().SwapRejectedCount(); n != 1 {
+		t.Fatalf("swap_rejected = %d, want 1", n)
+	}
+	// The rejected candidate is never revisited — no retry churn.
+	if swapped, _ := w.Poll(); swapped || len(rejected) != 1 {
+		t.Fatalf("rejected candidate revisited: swapped=%v rejected=%v", swapped, rejected)
+	}
+
+	// A later good checkpoint still installs once the fault clears.
+	fsys.SetFaults(checkpoint.Faults{})
+	saveCheckpoint(t, fsys, "ckpts", 2, 2, 4, 6, 3)
+	if swapped, err := w.Poll(); !swapped || err != nil {
+		t.Fatalf("recovery poll = (%v, %v)", swapped, err)
+	}
+	if v := s.Current().Version; v != "ckpt-2" {
+		t.Fatalf("version = %s, want ckpt-2", v)
+	}
+}
+
+// TestReadiness covers the /readyz probe matrix: no model, model via the
+// watcher, staleness bound fresh/expired, and a statically swapped model
+// under a bound (which can never satisfy an age requirement).
+func TestReadiness(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	clk := checkpoint.NewFakeClock(time.Unix(1000, 0))
+
+	unbounded := Readiness(s, 0, clk)
+	if err := unbounded(); err == nil {
+		t.Fatal("ready with no model installed")
+	}
+
+	fsys := checkpoint.NewMemFS()
+	w := NewWatcher(s, WatcherConfig{Dir: "ckpts", FS: fsys, Clock: clk})
+	saveCheckpoint(t, fsys, "ckpts", 1, 1, 4, 6, 3)
+	if swapped, err := w.Poll(); !swapped || err != nil {
+		t.Fatalf("poll = (%v, %v)", swapped, err)
+	}
+	if err := unbounded(); err != nil {
+		t.Fatalf("not ready with a model installed: %v", err)
+	}
+
+	bounded := Readiness(s, time.Minute, clk)
+	if err := bounded(); err != nil {
+		t.Fatalf("not ready right after install: %v", err)
+	}
+	clk.Advance(2 * time.Minute)
+	if err := bounded(); err == nil {
+		t.Fatal("ready with a checkpoint older than the staleness bound")
+	}
+	// A fresh install restores readiness.
+	saveCheckpoint(t, fsys, "ckpts", 2, 2, 4, 6, 3)
+	if swapped, _ := w.Poll(); !swapped {
+		t.Fatal("fresh checkpoint not installed")
+	}
+	if err := bounded(); err != nil {
+		t.Fatalf("not ready after fresh install: %v", err)
+	}
+
+	// A statically swapped model has no install timestamp: fine without a
+	// bound, never ready with one.
+	s2, _ := newTestServer(t, Config{})
+	s2.Swap(linearModel(1, 4, 6, 3), nil, "static")
+	if err := Readiness(s2, 0, clk)(); err != nil {
+		t.Fatalf("static model not ready without bound: %v", err)
+	}
+	if err := Readiness(s2, time.Minute, clk)(); err == nil {
+		t.Fatal("static model satisfied a staleness bound it cannot prove")
+	}
+}

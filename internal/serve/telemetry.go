@@ -137,6 +137,15 @@ func (t *Telemetry) SwapInstalled(at time.Time) {
 	t.mu.Unlock()
 }
 
+// LastSwap reports when the checkpoint watcher last installed a model;
+// ok is false before the first install (including when models arrive only
+// through POST /admin/swap, which carries no checkpoint timestamp).
+func (t *Telemetry) LastSwap() (last time.Time, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastSwap, !t.lastSwap.IsZero()
+}
+
 // SwapRejected counts a candidate model that failed to load or verify
 // (e.g. a corrupt checkpoint seen by the directory watcher); the server
 // keeps serving the previous snapshot.

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"time"
@@ -35,6 +37,15 @@ type WatcherConfig struct {
 	// OnReject, when set, is called for each checkpoint file that failed
 	// to load (after the rejection metric is incremented).
 	OnReject func(path string, err error)
+	// MaxRetries bounds the Load attempts for a candidate failing with a
+	// transient error — anything that is not checkpoint.ErrCorrupt, e.g.
+	// an open raced by a concurrent writer or a flaky network mount —
+	// before the candidate is rejected for good (default 5).
+	MaxRetries int
+	// RetryBackoff is the base delay before re-trying a transiently
+	// failing candidate; the delay doubles per attempt with ±50% jitter
+	// (default 250ms).
+	RetryBackoff time.Duration
 }
 
 // Watcher tails a checkpoint directory and hot-swaps the newest valid
@@ -47,8 +58,16 @@ type WatcherConfig struct {
 type Watcher struct {
 	srv       *Server
 	cfg       WatcherConfig
-	installed int             // iteration of the installed checkpoint
-	rejected  map[string]bool // checkpoint files already found corrupt
+	installed int                    // iteration of the installed checkpoint
+	rejected  map[string]bool        // checkpoint files already found corrupt
+	retries   map[string]*retryState // transiently failing candidates backing off
+	jitter    *rand.Rand
+}
+
+// retryState tracks one transiently failing candidate between polls.
+type retryState struct {
+	attempts int
+	next     time.Time // earliest Clock time for the next attempt
 }
 
 // NewWatcher builds a watcher bound to srv. Call Poll for one
@@ -63,15 +82,30 @@ func NewWatcher(srv *Server, cfg WatcherConfig) *Watcher {
 	if cfg.Clock == nil {
 		cfg.Clock = checkpoint.SystemClock
 	}
-	return &Watcher{srv: srv, cfg: cfg, rejected: make(map[string]bool)}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	return &Watcher{
+		srv: srv, cfg: cfg,
+		rejected: make(map[string]bool),
+		retries:  make(map[string]*retryState),
+		jitter:   rand.New(rand.NewSource(cfg.Clock.Now().UnixNano())),
+	}
 }
 
 // Poll performs one scan: if the directory holds a checkpoint newer than
 // the installed one, the newest loadable candidate is swapped in.
-// Corrupt candidates are skipped (never retried — a visible checkpoint is
-// complete, so a bad one cannot heal) and each counts one rejection. It
-// reports whether a swap happened. Poll is not safe for concurrent use
-// with itself; Run is the single-goroutine driver.
+// Candidates failing with checkpoint.ErrCorrupt are rejected immediately
+// and never retried — a visible checkpoint is complete, so a bad one
+// cannot heal. Any other load error is treated as transient (an open
+// raced by a writer, a flaky mount): the candidate backs off with
+// doubling jittered delays and is rejected only after MaxRetries
+// attempts. Each rejection counts once. Poll reports whether a swap
+// happened. It is not safe for concurrent use with itself; Run is the
+// single-goroutine driver.
 func (w *Watcher) Poll() (bool, error) {
 	names, err := w.cfg.FS.ReadDir(w.cfg.Dir)
 	if err != nil {
@@ -79,6 +113,7 @@ func (w *Watcher) Poll() (bool, error) {
 		// keep waiting rather than failing the loop.
 		return false, nil
 	}
+	w.pruneRetries(names)
 	type candidate struct {
 		name string
 		iter int
@@ -95,15 +130,30 @@ func (w *Watcher) Poll() (bool, error) {
 		if w.rejected[path] {
 			continue
 		}
+		if rs := w.retries[path]; rs != nil && w.cfg.Clock.Now().Before(rs.next) {
+			continue // backing off; an older candidate may still serve
+		}
 		st, err := checkpoint.Load(w.cfg.FS, path)
 		if err != nil {
-			w.rejected[path] = true
-			w.srv.Telemetry().SwapRejected()
-			if w.cfg.OnReject != nil {
-				w.cfg.OnReject(path, err)
+			if errors.Is(err, checkpoint.ErrCorrupt) {
+				w.reject(path, err)
+				continue
 			}
+			rs := w.retries[path]
+			if rs == nil {
+				rs = &retryState{}
+				w.retries[path] = rs
+			}
+			rs.attempts++
+			if rs.attempts >= w.cfg.MaxRetries {
+				delete(w.retries, path)
+				w.reject(path, err)
+				continue
+			}
+			rs.next = w.cfg.Clock.Now().Add(w.backoff(rs.attempts))
 			continue
 		}
+		delete(w.retries, path)
 		model := &core.Model{
 			K: st.K, X: st.X, Y: st.Y,
 			Meta: core.Meta{
@@ -124,6 +174,42 @@ func (w *Watcher) Poll() (bool, error) {
 		return true, nil
 	}
 	return false, nil
+}
+
+// reject marks a candidate permanently bad: it is skipped by every later
+// poll, counted once in als_swap_rejected_total, and reported to OnReject.
+func (w *Watcher) reject(path string, err error) {
+	w.rejected[path] = true
+	w.srv.Telemetry().SwapRejected()
+	if w.cfg.OnReject != nil {
+		w.cfg.OnReject(path, err)
+	}
+}
+
+// backoff returns the delay after the nth failed attempt: RetryBackoff
+// doubled per prior attempt, scaled by a jitter in [0.5, 1.5) so a fleet
+// of watchers following one training run does not retry in lockstep.
+func (w *Watcher) backoff(attempts int) time.Duration {
+	d := w.cfg.RetryBackoff << (attempts - 1)
+	return time.Duration((0.5 + w.jitter.Float64()) * float64(d))
+}
+
+// pruneRetries drops retry state for files no longer in the directory
+// (e.g. rotated away by the trainer's keep-last policy), so the map stays
+// bounded by the directory size.
+func (w *Watcher) pruneRetries(names []string) {
+	if len(w.retries) == 0 {
+		return
+	}
+	present := make(map[string]bool, len(names))
+	for _, n := range names {
+		present[filepath.Join(w.cfg.Dir, n)] = true
+	}
+	for p := range w.retries {
+		if !present[p] {
+			delete(w.retries, p)
+		}
+	}
 }
 
 // Run polls until ctx is cancelled.
