@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture ci obs-smoke chaos-smoke experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture ci obs-smoke chaos-smoke dist-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -36,6 +36,7 @@ ci:
 	$(GO) test -race ./internal/checkpoint ./internal/core ./internal/host ./internal/serve
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) dist-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Observability smoke: build alstrain, run one training iteration with
@@ -51,6 +52,14 @@ obs-smoke:
 # failure under -strict-numerics.
 chaos-smoke:
 	$(GO) test -run TestAlstrainChaosSmoke -count=1 ./internal/guard
+
+# Distributed smoke: through the real binaries, train a tiny preset with
+# -workers 2 and require the model byte-identical to single-process, then
+# stand up two alsserve shard replicas plus an alsfront frontend, serve a
+# merged recommendation, and validate the frontend's /metrics exposition.
+# All processes are killed by test cleanup even on failure — no orphans.
+dist-smoke:
+	$(GO) test -run TestDistSmoke -count=1 ./internal/shard
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,97 @@
+// alsfront is the scatter-gather frontend for a fleet of alsserve shard
+// replicas (alsserve -shard i/N). It fans each request out to every shard
+// with a per-shard deadline, merges the partial top-N heaps into the exact
+// single-process ranking, and degrades to the healthy shards' merged
+// results when a shard is down or slow (flagged in the response and
+// counted in als_shard_partial_total). Endpoints:
+//
+//	GET  /v1/recommend?user=U&n=N   merged top-N across all shards
+//	POST /v1/foldin                 distributed fold-in: partial normal
+//	                                equations gathered from every shard,
+//	                                solved once, scored across the fleet
+//	GET  /v1/model                  aggregated model identity
+//	GET  /metrics                   frontend + fan-out Prometheus metrics
+//	GET  /healthz                   process liveness
+//	GET  /readyz                    503 while any shard is down
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard replica base URLs in shard order, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (required)")
+	shardTimeout := flag.Duration("shard-timeout", time.Second, "per-shard deadline for one fan-out leg; a shard that misses it degrades the response to the remaining shards")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "background health-check period")
+	maxN := flag.Int("max-n", 100, "largest accepted n per request")
+	maxFoldIn := flag.Int("max-foldin-items", 10000, "largest accepted fold-in rating count")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "alsfront:", err)
+		os.Exit(1)
+	}
+	var urls []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			urls = append(urls, strings.TrimRight(s, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fail(fmt.Errorf("need -shards with at least one replica URL"))
+	}
+
+	front, err := shard.NewFrontend(shard.FrontendConfig{
+		Shards:         urls,
+		ShardTimeout:   *shardTimeout,
+		ProbeInterval:  *probeInterval,
+		MaxN:           *maxN,
+		MaxFoldInItems: *maxFoldIn,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go front.Run(ctx)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: front.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(lis) }()
+	fmt.Printf("alsfront: listening on %s, fanning out to %d shard(s)\n", lis.Addr(), len(urls))
+	for i, u := range urls {
+		fmt.Printf("alsfront: shard %d -> %s\n", i, u)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("alsfront: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -3,6 +3,12 @@
 // and latency percentiles — the serving-side benchmark companion to the
 // training-side figures. A fraction of traffic can exercise the fold-in
 // path with synthetic cold-start payloads.
+//
+// With -targets it drives several servers at once — an alsfront frontend,
+// or the shard replicas of a fleet directly — running the same worker pool
+// against each and reporting per-target and aggregate req/s, which is how
+// the shard-count throughput scaling figures are captured (-capture writes
+// the stats as JSON).
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,15 +41,43 @@ type result struct {
 	errors    int
 }
 
+// stats summarizes one target's (or the whole run's) completed requests.
+type stats struct {
+	Target   string  `json:"target,omitempty"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"transport_errors"`
+	RPS      float64 `json:"req_per_sec"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	Maxms    float64 `json:"max_ms"`
+	codes    map[int]int
+}
+
+type captureOut struct {
+	Label       string    `json:"label,omitempty"`
+	Targets     []string  `json:"targets"`
+	DurationSec float64   `json:"duration_sec"`
+	Concurrency int       `json:"concurrency_per_target"`
+	N           int       `json:"n"`
+	FoldinFrac  float64   `json:"foldin_frac"`
+	PerTarget   []stats   `json:"per_target"`
+	Aggregate   stats     `json:"aggregate"`
+	CapturedAt  time.Time `json:"captured_at"`
+}
+
 func main() {
 	base := flag.String("addr", "http://127.0.0.1:8080", "base URL of a running alsserve")
+	targetsFlag := flag.String("targets", "", "comma-separated base URLs (an alsfront, or shard replicas directly) driven concurrently with -concurrency workers each; overrides -addr")
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
-	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers per target")
 	n := flag.Int("n", 10, "recommendations per request")
 	skew := flag.Float64("skew", 0.85, "Zipf exponent of the user distribution")
 	seed := flag.Int64("seed", 1, "sampler seed")
 	foldinFrac := flag.Float64("foldin", 0, "fraction of requests using the fold-in path")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	capture := flag.String("capture", "", "write per-target and aggregate stats as JSON to this file")
+	label := flag.String("label", "", "free-form label stored in the -capture output")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -50,51 +85,132 @@ func main() {
 		os.Exit(1)
 	}
 
-	client := &http.Client{Timeout: *timeout}
-	info, err := fetchModel(client, *base)
-	if err != nil {
-		fail(fmt.Errorf("discovering model (is alsserve running?): %w", err))
+	targets := []string{*base}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, strings.TrimRight(t, "/"))
+			}
+		}
+		if len(targets) == 0 {
+			fail(fmt.Errorf("-targets named no URLs"))
+		}
 	}
-	fmt.Printf("alsload: target %s serving %s: %d users x %d items (k=%d)\n",
-		*base, info.Version, info.Users, info.Items, info.K)
-	fmt.Printf("alsload: %d workers, %v, n=%d, user skew %.2f, fold-in %.0f%%\n",
-		*concurrency, *duration, *n, *skew, *foldinFrac*100)
+
+	client := &http.Client{Timeout: *timeout, Transport: &http.Transport{
+		MaxIdleConnsPerHost: 2 * *concurrency,
+	}}
+	infos := make([]*modelInfo, len(targets))
+	for i, t := range targets {
+		info, err := fetchModel(client, t)
+		if err != nil {
+			fail(fmt.Errorf("discovering model at %s (is it running?): %w", t, err))
+		}
+		infos[i] = info
+		fmt.Printf("alsload: target %s serving %s: %d users x %d items (k=%d)\n",
+			t, info.Version, info.Users, info.Items, info.K)
+	}
+	fmt.Printf("alsload: %d workers/target x %d target(s), %v, n=%d, user skew %.2f, fold-in %.0f%%\n",
+		*concurrency, len(targets), *duration, *n, *skew, *foldinFrac*100)
 
 	deadline := time.Now().Add(*duration)
-	results := make([]result, *concurrency)
+	results := make([][]result, len(targets))
 	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			results[w] = drive(client, *base, info, deadline, driveOpts{
-				n: *n, skew: *skew, seed: *seed + int64(w)*7919, foldin: *foldinFrac,
-			})
-		}()
+	for ti := range targets {
+		results[ti] = make([]result, *concurrency)
+		for w := 0; w < *concurrency; w++ {
+			ti, w := ti, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[ti][w] = drive(client, targets[ti], infos[ti], deadline, driveOpts{
+					n: *n, skew: *skew,
+					seed:   *seed + int64(ti)*104729 + int64(w)*7919,
+					foldin: *foldinFrac,
+				})
+			}()
+		}
 	}
 	wg.Wait()
 
+	perTarget := make([]stats, len(targets))
 	var all []time.Duration
-	codes := map[int]int{}
-	errors := 0
-	for _, r := range results {
-		all = append(all, r.latencies...)
-		for c, k := range r.codes {
-			codes[c] += k
+	agg := stats{codes: map[int]int{}}
+	for ti, t := range targets {
+		var lats []time.Duration
+		st := stats{Target: t, codes: map[int]int{}}
+		for _, r := range results[ti] {
+			lats = append(lats, r.latencies...)
+			for c, k := range r.codes {
+				st.codes[c] += k
+				agg.codes[c] += k
+			}
+			st.Errors += r.errors
 		}
-		errors += r.errors
+		summarize(&st, lats, duration.Seconds())
+		perTarget[ti] = st
+		all = append(all, lats...)
+		agg.Errors += st.Errors
 	}
 	if len(all) == 0 {
 		fail(fmt.Errorf("no requests completed"))
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(all)-1))
-		return all[i]
+	summarize(&agg, all, duration.Seconds())
+
+	for _, st := range perTarget {
+		if len(targets) > 1 {
+			fmt.Printf("\ntarget %s\n", st.Target)
+			printStats(st)
+		}
 	}
-	total := len(all)
-	fmt.Printf("\nrequests: %d  transport errors: %d\n", total, errors)
+	fmt.Printf("\nrequests: %d  transport errors: %d\n", agg.Requests, agg.Errors)
+	printCodes(agg.codes)
+	fmt.Printf("aggregate throughput: %.0f req/s across %d target(s)\n", agg.RPS, len(targets))
+	fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		agg.P50ms, agg.P95ms, agg.P99ms, agg.Maxms)
+
+	if *capture != "" {
+		out := captureOut{
+			Label: *label, Targets: targets,
+			DurationSec: duration.Seconds(), Concurrency: *concurrency,
+			N: *n, FoldinFrac: *foldinFrac,
+			PerTarget: perTarget, Aggregate: agg,
+			CapturedAt: time.Now().UTC(),
+		}
+		body, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*capture, append(body, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("stats written to %s\n", *capture)
+	}
+}
+
+func summarize(st *stats, lats []time.Duration, seconds float64) {
+	st.Requests = len(lats)
+	if seconds > 0 {
+		st.RPS = float64(len(lats)) / seconds
+	}
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	st.P50ms, st.P95ms, st.P99ms = ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99))
+	st.Maxms = ms(lats[len(lats)-1])
+}
+
+func printStats(st stats) {
+	fmt.Printf("  requests: %d  transport errors: %d  throughput: %.0f req/s\n",
+		st.Requests, st.Errors, st.RPS)
+	fmt.Printf("  latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		st.P50ms, st.P95ms, st.P99ms, st.Maxms)
+}
+
+func printCodes(codes map[int]int) {
 	keys := make([]int, 0, len(codes))
 	for c := range codes {
 		keys = append(keys, c)
@@ -103,9 +219,6 @@ func main() {
 	for _, c := range keys {
 		fmt.Printf("  HTTP %d: %d\n", c, codes[c])
 	}
-	fmt.Printf("throughput: %.0f req/s\n", float64(total)/duration.Seconds())
-	fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
-		ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99)), ms(all[len(all)-1]))
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -15,6 +15,14 @@
 // With -debug-addr a second listener adds /debug/pprof, /healthz
 // (process liveness) and /readyz (model installed, and with
 // -max-staleness the watched checkpoint is fresh enough).
+//
+// With -shard i/N the process becomes shard replica i of an N-way fleet:
+// it keeps only its static range of the item factors, answers
+// /v1/recommend over that slice (global item indices preserved), and adds
+// GET /readyz plus the /shard/v1/* partial endpoints the alsfront
+// scatter-gather frontend fans out to. Fold-in requests belong on the
+// frontend and are rejected with 501 here. -watch composes: each shard
+// watches the same checkpoint directory and hot-swaps only its slice.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +40,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -48,6 +58,7 @@ func main() {
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll period for -watch")
 	debugAddr := flag.String("debug-addr", "", "serve the same metrics plus process health, /healthz, /readyz and /debug/pprof on a second address (keeps profiling off the public listener)")
 	maxStale := flag.Duration("max-staleness", 0, "readiness bound for -debug-addr's /readyz: fail once the last checkpoint installed by -watch is older than this (0 disables the age check)")
+	shardSpec := flag.String("shard", "", "serve as shard i/N of an item-partitioned fleet (e.g. 0/3): only rows [i*items/N, (i+1)*items/N) of the item factors are kept, and the /shard/v1/* endpoints for alsfront are enabled")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -63,6 +74,19 @@ func main() {
 		CacheSize: *cacheSize, MaxN: *maxN,
 	})
 	defer srv.Close()
+	var rep *shard.Replica
+	if *shardSpec != "" {
+		idx, of, err := shard.ParseSpec(*shardSpec)
+		if err != nil {
+			fail(err)
+		}
+		rep, err = shard.NewReplica(srv, shard.ReplicaConfig{
+			Index: idx, Count: of, MaxStaleness: *maxStale,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
 	if *debugAddr != "" {
 		reg := srv.Telemetry().Registry()
 		obs.RegisterProcessMetrics(reg)
@@ -81,12 +105,22 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		sn := srv.Swap(m, rated, *version)
-		fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d\n",
-			sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K)
+		if rep != nil {
+			sn := rep.Swap(m, rated, *version)
+			fmt.Printf("alsserve: model %s (seq %d): shard %s holds items [%d,%d) of %d, %d users, k=%d\n",
+				sn.Version, sn.Seq, *shardSpec, sn.ItemOffset, sn.ItemOffset+sn.Model.Y.Rows, sn.ItemTotal, m.X.Rows, m.K)
+		} else {
+			sn := srv.Swap(m, rated, *version)
+			fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d\n",
+				sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K)
+		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if rep != nil {
+		handler = rep.Handler()
+	}
+	hs := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -99,6 +133,11 @@ func main() {
 			OnReject: func(path string, err error) {
 				fmt.Fprintf(os.Stderr, "alsserve: rejected checkpoint %s: %v\n", path, err)
 			},
+		}
+		if rep != nil {
+			// Shard-sync: every replica watches the same checkpoint
+			// directory and installs only its item slice of each model.
+			wcfg.Transform = rep.Transform
 		}
 		if *watch != "" && *ratings != "" && *modelPath == "" {
 			// Rated-item exclusion for watched checkpoints: checkpoints carry
@@ -116,9 +155,13 @@ func main() {
 		go w.Run(ctx)
 		fmt.Printf("alsserve: watching %s every %s\n", *watch, *watchInterval)
 	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
 	done := make(chan error, 1)
-	go func() { done <- hs.ListenAndServe() }()
-	fmt.Printf("alsserve: listening on %s\n", *addr)
+	go func() { done <- hs.Serve(lis) }()
+	fmt.Printf("alsserve: listening on %s\n", lis.Addr())
 
 	select {
 	case err := <-done:

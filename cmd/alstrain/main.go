@@ -2,6 +2,13 @@
 // `<userID, itemID, rating>` format) or on a synthetic Table I preset, on
 // the host or on one of the simulated devices, and optionally saves the
 // model for alsrecommend.
+//
+// With -workers N the run becomes data-parallel across N forked worker
+// processes: each solves a static partition of the user (then item) rows
+// and the coordinator relays the factor shards between half-iterations
+// over loopback TCP. The resulting model is bit-identical to a
+// single-process run with the same flags. The -dist-rank/-dist-coord
+// flags are the internal re-exec hook for those workers.
 package main
 
 import (
@@ -9,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strconv"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -16,6 +25,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/variant"
 )
 
@@ -46,6 +56,10 @@ func main() {
 	debugLinger := flag.Duration("debug-linger", 0, "keep the -debug-addr server up this long after training finishes (for scraping short runs)")
 	traceOut := flag.String("trace-out", "", "write the run as a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	eventsOut := flag.String("events-out", "", "write the structured run-event log (JSONL) to this file")
+	workers := flag.Int("workers", 0, "fork this many worker processes for data-parallel distributed training (host platform only; the model stays bit-identical to a single-process run; 0 = in-process)")
+	threads := flag.Int("threads", 0, "solver goroutines per distributed worker process (0 = GOMAXPROCS; only with -workers)")
+	distRank := flag.Int("dist-rank", -1, "internal: run as distributed worker with this rank (set by the -workers coordinator)")
+	distCoord := flag.String("dist-coord", "", "internal: coordinator address for -dist-rank")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -53,6 +67,17 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "alstrain:", err)
 		os.Exit(1)
+	}
+	if *distRank >= 0 {
+		// Worker mode: everything (dataset spec, hyperparameters, variant)
+		// arrives in the coordinator's config frame, not from our flags.
+		if *distCoord == "" {
+			fail(fmt.Errorf("-dist-rank needs -dist-coord"))
+		}
+		if err := shard.RunWorker(*distCoord, *distRank); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if err := prof.Start(); err != nil {
 		fail(err)
@@ -88,8 +113,9 @@ func main() {
 	if *debugAddr != "" || *traceOut != "" || *eventsOut != "" {
 		rec = obs.NewTrainRecorder()
 	}
+	var reg *obs.Registry
 	if *debugAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		rec.Register(reg)
 		if gd != nil {
 			gd.Register(reg)
@@ -178,30 +204,86 @@ func main() {
 		cfg.Variant = v
 	}
 
-	model, info, err := core.Train(train, cfg)
-	if err != nil {
-		fail(err)
+	var model *core.Model
+	if *workers > 0 {
+		// Distributed data-parallel training: fork -workers copies of this
+		// binary as rank workers; they reload the identical dataset from the
+		// spec and exchange factor shards through this coordinator.
+		switch {
+		case *platform != "host":
+			fail(fmt.Errorf("-workers trains on the host; -platform %s is a simulated device", *platform))
+		case *chaosSpec != "" || *strict:
+			fail(fmt.Errorf("-workers does not compose with -chaos/-strict-numerics (the guard is per-process)"))
+		case *auto:
+			fail(fmt.Errorf("-workers needs a fixed variant; -auto-variant would let workers disagree"))
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		dcfg := shard.TrainerConfig{
+			Workers: *workers,
+			K:       *k, Lambda: float32(*lambda), Iterations: *iters, Seed: *seed,
+			WeightedLambda: *weighted, UseRecommended: *variantID == "",
+			Threads: *threads,
+			Data: shard.DataSpec{
+				Preset: *preset, Scale: *scale,
+				Input: *input, OneBased: *oneBased, Compact: *compact,
+				TestFrac: *testFrac, Seed: *seed,
+			},
+			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+			CheckpointKeep: *ckptKeep, Resume: *resume,
+			Registry: reg,
+			Spawn: func(rank int, addr string) (func(), error) {
+				cmd := exec.Command(exe, "-dist-rank", strconv.Itoa(rank), "-dist-coord", addr)
+				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+				if err := cmd.Start(); err != nil {
+					return nil, err
+				}
+				return func() { cmd.Process.Kill(); cmd.Wait() }, nil
+			},
+		}
+		if *variantID != "" {
+			dcfg.Variant = cfg.Variant
+		}
+		m, dinfo, err := shard.Train(train, dcfg)
+		if err != nil {
+			fail(err)
+		}
+		model = m
+		if dinfo.ResumedFrom > 0 {
+			fmt.Printf("resumed from checkpoint at iteration %d\n", dinfo.ResumedFrom)
+		}
+		fmt.Printf("trained on host with %s: %.4fs (wall-clock, %d worker processes)\n",
+			dinfo.Variant, dinfo.Seconds, dinfo.Workers)
+		fmt.Printf("coordinator exchange traffic: %d bytes\n", dinfo.BroadcastBytes)
+	} else {
+		m, info, err := core.Train(train, cfg)
+		if err != nil {
+			fail(err)
+		}
+		model = m
+		if info.ResumedFrom > 0 {
+			fmt.Printf("resumed from checkpoint at iteration %d\n", info.ResumedFrom)
+		}
+		kindLabel := "wall-clock"
+		if info.Simulated {
+			kindLabel = "simulated"
+		}
+		fmt.Printf("trained on %s with %s: %.4fs (%s)\n", info.Platform, info.Variant, info.Seconds, kindLabel)
+		if gd != nil {
+			if s := gd.Summary(); s != "" {
+				fmt.Printf("guard: %s\n", s)
+			}
+		}
+		if info.Simulated {
+			fmt.Printf("stage breakdown: S1=%.4fs S2=%.4fs S3=%.4fs\n",
+				info.StageSeconds[0], info.StageSeconds[1], info.StageSeconds[2])
+		}
 	}
 	model.UserIDs, model.ItemIDs = userIDs, itemIDs
 	if *version != "" {
 		model.Meta.Version = *version
-	}
-	if info.ResumedFrom > 0 {
-		fmt.Printf("resumed from checkpoint at iteration %d\n", info.ResumedFrom)
-	}
-	kindLabel := "wall-clock"
-	if info.Simulated {
-		kindLabel = "simulated"
-	}
-	fmt.Printf("trained on %s with %s: %.4fs (%s)\n", info.Platform, info.Variant, info.Seconds, kindLabel)
-	if gd != nil {
-		if s := gd.Summary(); s != "" {
-			fmt.Printf("guard: %s\n", s)
-		}
-	}
-	if info.Simulated {
-		fmt.Printf("stage breakdown: S1=%.4fs S2=%.4fs S3=%.4fs\n",
-			info.StageSeconds[0], info.StageSeconds[1], info.StageSeconds[2])
 	}
 	fmt.Printf("train RMSE: %.4f\n", model.RMSE(train.R))
 	if *testFrac > 0 {

@@ -1,0 +1,69 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// RangeUpdater exposes the half-iteration row-update machinery for a
+// contiguous row range instead of a whole side: the building block of the
+// distributed data-parallel trainer, where each worker process owns one
+// static slice of the user (and item) rows and the fixed factor arrives by
+// broadcast. The worker pool and per-goroutine scratch persist across
+// calls, exactly as they do inside Train, so repeated range updates stay
+// allocation-free in steady state.
+//
+// Row updates are pure functions of (row data, fixed factors, λ, k,
+// variant) and rows never read each other's output, so updating a range
+// here is bit-identical to the same rows of a full Train half given
+// identical fixed factors — the property the distributed trainer's
+// bit-identity guarantee rests on.
+type RangeUpdater struct {
+	cfg       Config
+	userChunk int // ChunkSize as configured; 0 = derive per call
+	pool      *workerPool
+}
+
+// NewRangeUpdater starts a worker pool for range updates. Only the solver
+// configuration of cfg is used (K, Lambda, Workers, Flat, Variant,
+// WeightedLambda, ChunkSize); iteration control, loss tracking, hooks,
+// guard and observability fields are ignored.
+func NewRangeUpdater(cfg Config) *RangeUpdater {
+	userChunk := cfg.ChunkSize
+	cfg.Guard = nil
+	cfg.Obs = nil
+	cfg.setDefaults(0, 0)
+	return &RangeUpdater{cfg: cfg, userChunk: userChunk, pool: newWorkerPool(cfg)}
+}
+
+// K returns the configured factor dimensionality.
+func (ru *RangeUpdater) K() int { return ru.cfg.K }
+
+// UpdateRange solves rows [lo, hi) of out against fixed, where r is the
+// full side matrix (R for the X half, Rᵀ for the Y half). iter is the
+// 1-based iteration and xHalf names the half, mirroring Train's calls.
+// Rows outside the range are untouched.
+func (ru *RangeUpdater) UpdateRange(r *sparse.CSR, fixed, out *linalg.Dense, lo, hi, iter int, xHalf bool) error {
+	if lo < 0 || hi > r.NumRows || lo > hi {
+		return fmt.Errorf("host: row range [%d,%d) outside matrix with %d rows", lo, hi, r.NumRows)
+	}
+	if lo == hi {
+		return nil
+	}
+	view := r.RowRange(lo, hi)
+	outView := linalg.NewDenseFrom(hi-lo, ru.cfg.K, out.Data[lo*ru.cfg.K:hi*ru.cfg.K])
+	var order []int32
+	if !ru.cfg.Flat && ru.pool.workers > 1 {
+		order = lptOrder(view)
+	}
+	chunk := ru.userChunk
+	if chunk <= 0 {
+		chunk = defaultChunk(view.NumRows, view.NNZ(), ru.cfg.Workers)
+	}
+	return ru.pool.runHalf(view, fixed, outView, order, chunk, iter, xHalf)
+}
+
+// Close releases the worker pool; UpdateRange must not be called after it.
+func (ru *RangeUpdater) Close() { ru.pool.close() }

@@ -92,6 +92,45 @@ func (c *Cache) Purge() {
 	c.byKey = make(map[cacheKey]*list.Element, c.cap)
 }
 
+// PurgeUser drops every entry cached for one dense user row, across all
+// (version, seq, n) variants, and reports how many were removed. Fold-in
+// writes use it so a user's stale recommendations cannot outlive the write.
+func (c *Cache) PurgeUser(user int) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.key.user == user {
+			c.ll.Remove(el)
+			delete(c.byKey, ent.key)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
+// UserEntries counts the entries currently cached for one dense user row
+// (test and debugging visibility for PurgeUser).
+func (c *Cache) UserEntries(user int) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).key.user == user {
+			n++
+		}
+	}
+	return n
+}
+
 // Len returns the current entry count.
 func (c *Cache) Len() int {
 	if c.cap <= 0 {

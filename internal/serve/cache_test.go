@@ -70,3 +70,31 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatal("disabled cache has entries")
 	}
 }
+
+func TestCachePurgeUser(t *testing.T) {
+	c := NewCache(8)
+	c.Put(cacheKey{version: "a", seq: 1, user: 1, n: 5}, []metrics.Scored{{Item: 1}})
+	c.Put(cacheKey{version: "a", seq: 1, user: 1, n: 10}, []metrics.Scored{{Item: 2}})
+	c.Put(cacheKey{version: "b", seq: 2, user: 1, n: 5}, []metrics.Scored{{Item: 3}})
+	c.Put(cacheKey{version: "a", seq: 1, user: 2, n: 5}, []metrics.Scored{{Item: 4}})
+	if got := c.UserEntries(1); got != 3 {
+		t.Fatalf("UserEntries(1) = %d, want 3", got)
+	}
+	if removed := c.PurgeUser(1); removed != 3 {
+		t.Fatalf("PurgeUser removed %d entries, want 3 (all n and version variants)", removed)
+	}
+	if got := c.UserEntries(1); got != 0 {
+		t.Fatalf("UserEntries(1) after purge = %d", got)
+	}
+	if _, ok := c.Get(cacheKey{version: "a", seq: 1, user: 2, n: 5}); !ok {
+		t.Fatal("PurgeUser evicted another user's entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len after user purge = %d, want 1", c.Len())
+	}
+
+	disabled := NewCache(0)
+	if removed := disabled.PurgeUser(1); removed != 0 {
+		t.Fatalf("disabled cache purged %d entries", removed)
+	}
+}

@@ -84,10 +84,10 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/model", s.instrument("model", s.handleModel))
-	mux.HandleFunc("GET /v1/recommend", s.instrument("recommend", s.handleRecommend))
-	mux.HandleFunc("POST /v1/foldin", s.instrument("foldin", s.handleFoldIn))
-	mux.HandleFunc("POST /admin/swap", s.instrument("swap", s.handleSwap))
+	mux.HandleFunc("GET /v1/model", s.Instrument("model", s.handleModel))
+	mux.HandleFunc("GET /v1/recommend", s.Instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("POST /v1/foldin", s.Instrument("foldin", s.handleFoldIn))
+	mux.HandleFunc("POST /admin/swap", s.Instrument("swap", s.handleSwap))
 	s.mux = mux
 	return s
 }
@@ -104,20 +104,36 @@ func (s *Server) Current() *Snapshot { return s.store.Current() }
 // Swap atomically installs a new model and purges the response cache; see
 // Store.Swap for version defaulting.
 func (s *Server) Swap(m *core.Model, rated *sparse.CSR, version string) *Snapshot {
-	sn := s.store.Swap(m, rated, version)
+	return s.SwapShard(m, rated, version, 0, 0)
+}
+
+// SwapShard installs a sharded model view whose Y rows cover the catalog
+// slice [offset, offset+Y.Rows) of total items (total == 0 means a full
+// model). Recommendation responses report global item indices; fold-in is
+// refused on sharded snapshots because it needs the whole catalog.
+func (s *Server) SwapShard(m *core.Model, rated *sparse.CSR, version string, offset, total int) *Snapshot {
+	sn := s.store.SwapShard(m, rated, version, offset, total)
 	s.cache.Purge()
 	s.tel.SwapRecorded()
 	return sn
 }
 
+// Scorer exposes the scoring pool for embedding hosts (the shard replica
+// endpoints score against the same bounded pool as /v1/recommend).
+func (s *Server) Scorer() *Scorer { return s.scorer }
+
+// ResponseCache exposes the LRU response cache for embedding hosts.
+func (s *Server) ResponseCache() *Cache { return s.cache }
+
 // Close releases the scoring pool. In-flight requests must have drained
 // (http.Server.Shutdown) before calling it.
 func (s *Server) Close() { s.scorer.Close() }
 
-// instrument wraps a handler with admission control (bounded queue, 429 on
+// Instrument wraps a handler with admission control (bounded queue, 429 on
 // saturation), the per-request deadline, the in-flight gauge and the
-// latency histogram.
-func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+// latency histogram. Exported so embedding hosts (the shard replica) can
+// put extra endpoints behind the same admission path.
+func (s *Server) Instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
@@ -178,10 +194,13 @@ type RecItem struct {
 	Score float64 `json:"score"`
 }
 
-func recItems(m *core.Model, scored []metrics.Scored) []RecItem {
+// recItems converts scorer output to response items. offset shifts the
+// local Y row index to the global catalog index for sharded snapshots
+// (labels stay local: the sliced model carries the matching ItemIDs slice).
+func recItems(m *core.Model, scored []metrics.Scored, offset int) []RecItem {
 	out := make([]RecItem, len(scored))
 	for i, s := range scored {
-		out[i] = RecItem{Item: s.Item, Score: s.Score}
+		out[i] = RecItem{Item: s.Item + offset, Score: s.Score}
 		if m.ItemIDs != nil {
 			out[i].ID = m.ItemLabel(s.Item)
 		}
@@ -228,18 +247,24 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey{version: sn.Version, seq: sn.Seq, user: u, n: n}
 	if items, ok := s.cache.Get(key); ok {
 		writeJSON(w, RecommendResponse{Version: sn.Version, Seq: sn.Seq, User: orig,
-			Items: recItems(sn.Model, items), Cached: true})
+			Items: recItems(sn.Model, items, sn.ItemOffset), Cached: true})
 		return
 	}
-	scored, err := s.scorer.TopN(r.Context(), sn.Model.X.Row(u), sn.Model.Y,
-		RatedExcluder(sn.Rated, u), n)
+	// On a sharded snapshot the rated set is indexed by global item, while
+	// the scorer walks local Y rows: shift the predicate by the offset.
+	excluded := RatedExcluder(sn.Rated, u)
+	if excluded != nil && sn.ItemOffset != 0 {
+		ex, off := excluded, sn.ItemOffset
+		excluded = func(i int) bool { return ex(i + off) }
+	}
+	scored, err := s.scorer.TopN(r.Context(), sn.Model.X.Row(u), sn.Model.Y, excluded, n)
 	if err != nil {
 		scoreError(w, err)
 		return
 	}
 	s.cache.Put(key, scored)
 	writeJSON(w, RecommendResponse{Version: sn.Version, Seq: sn.Seq, User: orig,
-		Items: recItems(sn.Model, scored)})
+		Items: recItems(sn.Model, scored, sn.ItemOffset)})
 }
 
 // FoldInRequest is the /v1/foldin payload: the cold-start user's observed
@@ -252,6 +277,10 @@ type FoldInRequest struct {
 	// training λ (scaled by |Ω| under the weighted convention), falling
 	// back to the server default.
 	Lambda float32 `json:"lambda"`
+	// User, when set, names the external user these ratings belong to.
+	// The server then purges that user's cached recommendations so a
+	// fold-in write is never shadowed by a stale cache entry.
+	User *int64 `json:"user,omitempty"`
 }
 
 // FoldInResponse answers /v1/foldin.
@@ -279,6 +308,14 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 	sn := s.store.Current()
 	if sn == nil {
 		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	if sn.ItemTotal != 0 {
+		// A shard holds only a slice of Y; solving the fold-in user here
+		// would drop every out-of-slice rating. The scatter-gather
+		// frontend sums per-shard partial Gram/RHS terms instead.
+		httpError(w, http.StatusNotImplemented,
+			"fold-in is not served by a shard replica; send it to the scatter-gather frontend")
 		return
 	}
 	var req FoldInRequest
@@ -317,7 +354,12 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 		scoreError(w, err)
 		return
 	}
-	writeJSON(w, FoldInResponse{Version: sn.Version, Seq: sn.Seq, Items: recItems(sn.Model, scored)})
+	if req.User != nil {
+		if u, ok := sn.UserIndex(*req.User); ok {
+			s.cache.PurgeUser(u)
+		}
+	}
+	writeJSON(w, FoldInResponse{Version: sn.Version, Seq: sn.Seq, Items: recItems(sn.Model, scored, 0)})
 }
 
 // SwapRequest is the /admin/swap payload: file paths on the server host, as
@@ -371,6 +413,10 @@ type ModelResponse struct {
 	K        int    `json:"k"`
 	Compact  bool   `json:"compact"` // users addressed by external IDs
 	RatedSet bool   `json:"rated_set"`
+	// Sharded snapshots report the full catalog size in Items and describe
+	// their local slice here; ShardItems == 0 means a full model.
+	ItemOffset int `json:"item_offset,omitempty"`
+	ShardItems int `json:"shard_items,omitempty"`
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -379,9 +425,15 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "no model loaded")
 		return
 	}
-	writeJSON(w, ModelResponse{Version: sn.Version, Seq: sn.Seq,
+	resp := ModelResponse{Version: sn.Version, Seq: sn.Seq,
 		Users: sn.Model.X.Rows, Items: sn.Model.Y.Rows, K: sn.Model.K,
-		Compact: sn.Model.UserIDs != nil, RatedSet: sn.Rated != nil})
+		Compact: sn.Model.UserIDs != nil, RatedSet: sn.Rated != nil}
+	if sn.ItemTotal != 0 {
+		resp.Items = sn.ItemTotal
+		resp.ItemOffset = sn.ItemOffset
+		resp.ShardItems = sn.Model.Y.Rows
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

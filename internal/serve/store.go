@@ -21,6 +21,13 @@ type Snapshot struct {
 	Version string
 	Seq     uint64
 
+	// ItemOffset and ItemTotal describe a sharded snapshot: Model.Y holds
+	// only rows [ItemOffset, ItemOffset+Y.Rows) of a catalog of ItemTotal
+	// items, and responses report global item indices. ItemTotal == 0 (the
+	// zero value) means the snapshot holds the full catalog.
+	ItemOffset int
+	ItemTotal  int
+
 	// userIdx maps external user IDs to dense rows for compact models;
 	// built once per swap so request-path lookups are O(1) instead of the
 	// O(m) scan core.Model.UserIndex does.
@@ -50,6 +57,13 @@ func (s *Store) Current() *Snapshot { return s.cur.Load() }
 // Swap atomically installs a new model. An empty version falls back to the
 // model's own Meta.Version, then to "v<seq>".
 func (s *Store) Swap(m *core.Model, rated *sparse.CSR, version string) *Snapshot {
+	return s.SwapShard(m, rated, version, 0, 0)
+}
+
+// SwapShard installs a sharded model view: m.Y holds the slice of a
+// total-item catalog starting at global index offset. total == 0 installs
+// an ordinary full-catalog snapshot.
+func (s *Store) SwapShard(m *core.Model, rated *sparse.CSR, version string, offset, total int) *Snapshot {
 	seq := s.seq.Add(1)
 	if version == "" {
 		version = m.Meta.Version
@@ -57,7 +71,8 @@ func (s *Store) Swap(m *core.Model, rated *sparse.CSR, version string) *Snapshot
 	if version == "" {
 		version = fmt.Sprintf("v%d", seq)
 	}
-	sn := &Snapshot{Model: m, Rated: rated, Version: version, Seq: seq}
+	sn := &Snapshot{Model: m, Rated: rated, Version: version, Seq: seq,
+		ItemOffset: offset, ItemTotal: total}
 	if m.UserIDs != nil {
 		sn.userIdx = make(map[int64]int, len(m.UserIDs))
 		for i, id := range m.UserIDs {

@@ -32,6 +32,13 @@ type WatcherConfig struct {
 	// models; it is applied only when its row count matches the
 	// checkpoint's user count.
 	Rated *sparse.CSR
+	// Transform, when set, maps the loaded checkpoint model to the view
+	// actually swapped in, returning the view plus its item offset and the
+	// full catalog size (total 0 = full model). Shard replicas slice out
+	// their item range here, so a whole serving fleet can follow a single
+	// training run's checkpoint directory and each member hot-swaps only
+	// its slice.
+	Transform func(*core.Model) (m *core.Model, itemOffset, itemTotal int)
 	// OnSwap, when set, is called after each successful hot-swap.
 	OnSwap func(*Snapshot)
 	// OnReject, when set, is called for each checkpoint file that failed
@@ -165,7 +172,11 @@ func (w *Watcher) Poll() (bool, error) {
 		if rated != nil && rated.NumRows != model.X.Rows {
 			rated = nil
 		}
-		sn := w.srv.Swap(model, rated, "")
+		offset, total := 0, 0
+		if w.cfg.Transform != nil {
+			model, offset, total = w.cfg.Transform(model)
+		}
+		sn := w.srv.SwapShard(model, rated, "", offset, total)
 		w.srv.Telemetry().SwapInstalled(w.cfg.Clock.Now())
 		w.installed = c.iter
 		if w.cfg.OnSwap != nil {

@@ -1,0 +1,30 @@
+// Package shard turns the single-process ALS system into a real
+// multi-process deployment, replacing the simulated-clock cluster model in
+// internal/cluster with processes that talk over actual sockets:
+//
+//   - Shard replicas (Replica): an alsserve process started with -shard i/N
+//     holds only its static range of the item factors and answers partial
+//     top-N queries with the same bounded per-shard heaps the in-process
+//     scorer uses, plus the internal endpoints the frontend composes
+//     (/shard/v1/info, /shard/v1/partials, /shard/v1/score,
+//     /shard/v1/purge).
+//
+//   - A scatter-gather frontend (Frontend, cmd/alsfront): fans /v1/recommend
+//     and /v1/foldin out to the shard fleet over HTTP, merges the per-shard
+//     heaps with metrics.TopK (identical tie-breaking to a single-process
+//     scan of the full catalog), applies a per-shard deadline, and degrades
+//     to partial results when a shard is down — counted in
+//     als_shard_partial_total and reflected by /readyz.
+//
+//   - A data-parallel trainer (Train/RunWorker, alstrain -workers N): worker
+//     processes each solve one static user-row (and item-row) partition and
+//     allgather the updated factors between half-iterations over a
+//     length-prefixed TCP exchange relayed by the coordinator. Row updates
+//     are pure functions of the fixed factors, so the distributed model is
+//     bit-identical to the single-process run on the same seed.
+//
+// Shard replicas stay in sync with training through the existing checkpoint
+// watcher: the coordinator writes ordinary checkpoints, every replica
+// watches the same directory, and a WatcherConfig.Transform hook slices the
+// loaded model down to the replica's item range before the hot-swap.
+package shard

@@ -1,0 +1,400 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// tieModel builds a compact model whose scores are small integers with
+// plenty of exact cross-shard ties: score(u, i) = i%5 + (u%2)·((i/5)%3).
+// Integer-valued factors keep every Gram/RHS sum exactly representable, so
+// the distributed fold-in solve is bit-identical to the single-process one
+// regardless of summation order.
+func tieModel(users, items, k int) *core.Model {
+	x := linalg.NewDense(users, k)
+	y := linalg.NewDense(items, k)
+	for u := 0; u < users; u++ {
+		x.Set(u, 0, 1)
+		x.Set(u, 1, float32(u%2))
+	}
+	for i := 0; i < items; i++ {
+		y.Set(i, 0, float32(i%5))
+		y.Set(i, 1, float32((i/5)%3))
+	}
+	m := &core.Model{K: k, X: x, Y: y,
+		UserIDs: make([]int64, users), ItemIDs: make([]int64, items),
+		Meta: core.Meta{Lambda: 0.5}}
+	for u := range m.UserIDs {
+		m.UserIDs[u] = int64(500 + u)
+	}
+	for i := range m.ItemIDs {
+		m.ItemIDs[i] = int64(1000 + i)
+	}
+	return m
+}
+
+// ratedSet marks user 0 as having rated the given items.
+func ratedSet(users, items int, rated ...int) *sparse.CSR {
+	coo := sparse.NewCOO(users, items)
+	for _, it := range rated {
+		coo.Append(0, it, 5)
+	}
+	coo.Rows, coo.Cols = users, items
+	m, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fleet is a scatter-gather test deployment: N shard replicas behind one
+// frontend, plus a full-catalog reference server with the same model.
+type fleet struct {
+	front    *Frontend
+	frontTS  *httptest.Server
+	replicas []*Replica
+	servers  []*serve.Server
+	shardTS  []*httptest.Server
+	full     *serve.Server
+	fullTS   *httptest.Server
+}
+
+func newFleet(t *testing.T, m *core.Model, rated *sparse.CSR, shards int) *fleet {
+	t.Helper()
+	f := &fleet{}
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		srv := serve.New(serve.Config{})
+		rep, err := NewReplica(srv, ReplicaConfig{Index: i, Count: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Swap(m, rated, "v1")
+		ts := httptest.NewServer(rep.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		f.replicas = append(f.replicas, rep)
+		f.servers = append(f.servers, srv)
+		f.shardTS = append(f.shardTS, ts)
+		urls[i] = ts.URL
+	}
+	front, err := NewFrontend(FrontendConfig{Shards: urls, ShardTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.ProbeOnce(context.Background())
+	f.front = front
+	f.frontTS = httptest.NewServer(front.Handler())
+	t.Cleanup(f.frontTS.Close)
+
+	f.full = serve.New(serve.Config{})
+	f.full.Swap(m, rated, "v1")
+	f.fullTS = httptest.NewServer(f.full.Handler())
+	t.Cleanup(func() { f.fullTS.Close(); f.full.Close() })
+	return f
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func sameItems(t *testing.T, label string, got, want []serve.RecItem) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, want %d\ngot:  %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: item %d = %+v, want %+v\ngot:  %+v\nwant: %+v",
+				label, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestScatterGatherMergeIdentical holds the frontend's merged top-N
+// item-for-item identical — indices, external IDs, scores, and the
+// deterministic lower-index tie-break — to a single process serving the
+// full catalog, across fleet sizes including ones where n exceeds every
+// shard's local item count.
+func TestScatterGatherMergeIdentical(t *testing.T) {
+	const users, items, k = 5, 23, 3
+	m := tieModel(users, items, k)
+	rated := ratedSet(users, items, 2, 9, 22)
+	for _, shards := range []int{1, 2, 3, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			f := newFleet(t, m, rated, shards)
+			// n=10 and n=40 exceed the 3-4 items a 7-way shard holds; n=40
+			// exceeds the whole catalog and must return every unrated item.
+			for _, n := range []int{1, 3, 10, 40} {
+				for _, user := range []int64{500, 501, 504} {
+					var want serve.RecommendResponse
+					if code := getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", f.fullTS.URL, user, n), &want); code != 200 {
+						t.Fatalf("full server: HTTP %d", code)
+					}
+					var got RecommendResponse
+					if code := getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", f.frontTS.URL, user, n), &got); code != 200 {
+						t.Fatalf("frontend: HTTP %d", code)
+					}
+					if got.Partial || got.ShardsOK != shards {
+						t.Fatalf("healthy fleet answered partial=%v shards_ok=%d", got.Partial, got.ShardsOK)
+					}
+					sameItems(t, fmt.Sprintf("user=%d n=%d", user, n), got.Items, want.Items)
+				}
+			}
+			// Unknown user: every shard rejects with 404, and so must the
+			// frontend (a shard must NOT be marked down for it).
+			if code := getJSON(t, f.frontTS.URL+"/v1/recommend?user=99999&n=3", nil); code != 404 {
+				t.Fatalf("unknown user: HTTP %d, want 404", code)
+			}
+			if up, total := f.front.Healthy(); up != total {
+				t.Fatalf("4xx marked shards down: %d/%d up", up, total)
+			}
+		})
+	}
+}
+
+// TestFoldInAcrossShards holds the distributed fold-in — partial normal
+// equations gathered per shard, solved once at the frontend, scored across
+// the fleet — bit-identical to the single-process fold-in path.
+func TestFoldInAcrossShards(t *testing.T) {
+	const users, items, k = 5, 23, 3
+	m := tieModel(users, items, k)
+	f := newFleet(t, m, nil, 3)
+	req := serve.FoldInRequest{
+		Items:   []int32{1, 6, 11, 17, 22}, // spans all three slices
+		Ratings: []float32{5, 3, 4, 1, 2},
+		N:       8,
+	}
+	var want serve.FoldInResponse
+	if code := postJSON(t, f.fullTS.URL+"/v1/foldin", req, &want); code != 200 {
+		t.Fatalf("full server fold-in: HTTP %d", code)
+	}
+	var got FoldInResponse
+	if code := postJSON(t, f.frontTS.URL+"/v1/foldin", req, &got); code != 200 {
+		t.Fatalf("frontend fold-in: HTTP %d", code)
+	}
+	if got.Partial {
+		t.Fatal("healthy fleet answered partial fold-in")
+	}
+	sameItems(t, "foldin", got.Items, want.Items)
+
+	// The single-process validation rules hold at the frontend too.
+	for _, bad := range []serve.FoldInRequest{
+		{Items: []int32{1, 2}, Ratings: []float32{5}, N: 3},
+		{Items: []int32{1, 1}, Ratings: []float32{5, 4}, N: 3},
+		{Items: []int32{int32(items)}, Ratings: []float32{5}, N: 3},
+		{Items: nil, Ratings: nil, N: 3},
+	} {
+		if code := postJSON(t, f.frontTS.URL+"/v1/foldin", bad, nil); code != 400 {
+			t.Fatalf("bad fold-in %+v: HTTP %d, want 400", bad, code)
+		}
+	}
+	// Fold-in sent directly to a shard replica is refused: it would solve
+	// against a partial Gram matrix and return silently wrong factors.
+	if code := postJSON(t, f.shardTS[0].URL+"/v1/foldin", req, nil); code != 501 {
+		t.Fatalf("shard-direct fold-in: HTTP %d, want 501", code)
+	}
+}
+
+// TestFoldInPurgesAllShards is the regression test for the distributed
+// write path: a fold-in that names a user must purge that user's cached
+// responses on every shard, or a later /v1/recommend through the frontend
+// would merge one shard's fresh slice with another's stale cache entry.
+func TestFoldInPurgesAllShards(t *testing.T) {
+	const users, items, k = 5, 23, 3
+	m := tieModel(users, items, k)
+	f := newFleet(t, m, nil, 3)
+	const user = int64(501)
+
+	// Warm every shard's LRU through the frontend.
+	var warm RecommendResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&n=5", f.frontTS.URL, user), &warm); code != 200 {
+		t.Fatalf("warming: HTTP %d", code)
+	}
+	dense := int(user - 500)
+	for i, srv := range f.servers {
+		if got := srv.ResponseCache().UserEntries(dense); got != 1 {
+			t.Fatalf("shard %d: %d cached entries for user after warm, want 1", i, got)
+		}
+	}
+
+	u := user
+	req := serve.FoldInRequest{
+		Items: []int32{0, 8, 20}, Ratings: []float32{5, 4, 3}, N: 5, User: &u,
+	}
+	if code := postJSON(t, f.frontTS.URL+"/v1/foldin", req, nil); code != 200 {
+		t.Fatalf("fold-in: HTTP %d", code)
+	}
+	for i, srv := range f.servers {
+		if got := srv.ResponseCache().UserEntries(dense); got != 0 {
+			t.Fatalf("shard %d still holds %d cached entries for the folded-in user", i, got)
+		}
+	}
+}
+
+var partialCounterRe = regexp.MustCompile(`(?m)^als_shard_partial_total (\d+)`)
+
+func partialCount(t *testing.T, f *Frontend) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := partialCounterRe.FindStringSubmatch(buf.String())
+	if m == nil {
+		t.Fatalf("exposition lacks als_shard_partial_total:\n%s", buf.String())
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFrontendDegradationAndRecovery kills a shard mid-service and checks
+// the documented degradation ladder: requests keep answering from the
+// healthy shard flagged partial, als_shard_partial_total counts them,
+// /readyz goes 503 — and after the shard restarts on the same address the
+// fleet recovers to full, non-partial answers.
+func TestFrontendDegradationAndRecovery(t *testing.T) {
+	const users, items, k = 5, 23, 3
+	m := tieModel(users, items, k)
+
+	// Shard 0 lives on a plain httptest server; shard 1 on a hand-rolled
+	// listener so it can be killed and restarted on the same address.
+	srv0 := serve.New(serve.Config{})
+	rep0, err := NewReplica(srv0, ReplicaConfig{Index: 0, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep0.Swap(m, nil, "v1")
+	ts0 := httptest.NewServer(rep0.Handler())
+	defer ts0.Close()
+	defer srv0.Close()
+
+	srv1 := serve.New(serve.Config{})
+	rep1, err := NewReplica(srv1, ReplicaConfig{Index: 1, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1.Swap(m, nil, "v1")
+	defer srv1.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	hs1 := &http.Server{Handler: rep1.Handler()}
+	go hs1.Serve(lis)
+
+	front, err := NewFrontend(FrontendConfig{
+		Shards:       []string{ts0.URL, "http://" + addr},
+		ShardTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.ProbeOnce(context.Background())
+	if up, total := front.Healthy(); up != 2 || total != 2 {
+		t.Fatalf("fresh fleet: %d/%d up", up, total)
+	}
+	fts := httptest.NewServer(front.Handler())
+	defer fts.Close()
+
+	var full RecommendResponse
+	if code := getJSON(t, fts.URL+"/v1/recommend?user=500&n=10", &full); code != 200 {
+		t.Fatalf("healthy request: HTTP %d", code)
+	}
+	if full.Partial {
+		t.Fatal("healthy fleet answered partial")
+	}
+
+	// Kill shard 1.
+	hs1.Close()
+	var degraded RecommendResponse
+	if code := getJSON(t, fts.URL+"/v1/recommend?user=500&n=10", &degraded); code != 200 {
+		t.Fatalf("degraded request: HTTP %d", code)
+	}
+	if !degraded.Partial || degraded.ShardsOK != 1 {
+		t.Fatalf("killed shard: partial=%v shards_ok=%d, want partial from 1 shard", degraded.Partial, degraded.ShardsOK)
+	}
+	if len(degraded.Items) == 0 {
+		t.Fatal("degraded response returned no items from the surviving shard")
+	}
+	if got := partialCount(t, front); got < 1 {
+		t.Fatalf("als_shard_partial_total = %d after degraded request, want >= 1", got)
+	}
+	if code := getJSON(t, fts.URL+"/readyz", nil); code != 503 {
+		t.Fatalf("degraded /readyz: HTTP %d, want 503", code)
+	}
+	if err := front.Ready(); err == nil {
+		t.Fatal("Ready() reported healthy with a dead shard")
+	}
+
+	// Restart shard 1 on the same address and let the prober find it.
+	lis2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	hs2 := &http.Server{Handler: rep1.Handler()}
+	go hs2.Serve(lis2)
+	defer hs2.Close()
+	front.ProbeOnce(context.Background())
+	if up, _ := front.Healthy(); up != 2 {
+		t.Fatalf("after restart: %d/2 up", up)
+	}
+	if code := getJSON(t, fts.URL+"/readyz", nil); code != 200 {
+		t.Fatalf("recovered /readyz: HTTP %d, want 200", code)
+	}
+	var recovered RecommendResponse
+	if code := getJSON(t, fts.URL+"/v1/recommend?user=500&n=10", &recovered); code != 200 {
+		t.Fatalf("recovered request: HTTP %d", code)
+	}
+	if recovered.Partial {
+		t.Fatal("recovered fleet still answering partial")
+	}
+	sameItems(t, "recovered", recovered.Items, full.Items)
+}

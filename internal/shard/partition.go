@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// Range returns the half-open row range [lo, hi) that shard i of `of`
+// owns in a catalog of total rows. The same arithmetic partitions item
+// factors across serving replicas and user rows across trainer workers, so
+// every component agrees on ownership without coordination.
+func Range(total, i, of int) (lo, hi int) {
+	return i * total / of, (i + 1) * total / of
+}
+
+// ParseSpec parses a "-shard i/N" specification.
+func ParseSpec(s string) (i, of int, err error) {
+	idx, count, ok := strings.Cut(s, "/")
+	if ok {
+		i, err = strconv.Atoi(strings.TrimSpace(idx))
+		if err == nil {
+			of, err = strconv.Atoi(strings.TrimSpace(count))
+		}
+	}
+	if !ok || err != nil || of < 1 || i < 0 || i >= of {
+		return 0, 0, fmt.Errorf("shard: spec %q is not i/N with 0 <= i < N", s)
+	}
+	return i, of, nil
+}
+
+// SliceModel returns shard i's zero-copy view of a full model: the item
+// factors (and item ID labels) restricted to the shard's range, the user
+// factors shared, and the metadata copied. It reports the slice's global
+// item offset and the full catalog size.
+func SliceModel(m *core.Model, i, of int) (view *core.Model, itemOffset, itemTotal int) {
+	total := m.Y.Rows
+	lo, hi := Range(total, i, of)
+	view = &core.Model{
+		K:       m.K,
+		X:       m.X,
+		Y:       linalg.NewDenseFrom(hi-lo, m.K, m.Y.Data[lo*m.K:hi*m.K]),
+		UserIDs: m.UserIDs,
+		Meta:    m.Meta,
+	}
+	if m.ItemIDs != nil {
+		view.ItemIDs = m.ItemIDs[lo:hi]
+	}
+	return view, lo, total
+}

@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync/atomic"
+)
+
+// The trainer's exchange protocol: every frame is a little-endian uint64
+// body length followed by the body, whose first byte names the frame kind.
+// Factor frames carry a fixed 20-byte header (iteration, half, first row,
+// row count, k) and then rows·k raw little-endian float32s, so a full
+// factor matrix moves as one frame with no per-row framing.
+const (
+	frameHello   byte = 1 // worker → coordinator: uint32 rank
+	frameConfig  byte = 2 // coordinator → worker: JSON workerConfig
+	frameFactors byte = 3 // either direction: factorHeader + float32 payload
+	frameError   byte = 4 // worker → coordinator: UTF-8 failure message
+)
+
+// maxSmallFrame bounds hello/config/error bodies; factor frames are bounded
+// by their declared row count instead.
+const maxSmallFrame = 1 << 20
+
+const halfX, halfY byte = 0, 1
+
+// factorHeader describes one factor frame: rows [Lo, Lo+Rows) of the
+// iteration's half-side matrix.
+type factorHeader struct {
+	Iter, Lo, Rows, K uint32
+	Half              byte
+}
+
+const factorHeaderLen = 17
+
+// wire is one framed connection. Reads and writes are buffered; traffic,
+// when non-nil, accumulates the full on-the-wire size of every frame sent
+// or received (the als_dist_broadcast_bytes_total measurement point).
+type wire struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte
+	traffic *atomic.Int64
+}
+
+func newWire(c net.Conn, traffic *atomic.Int64) *wire {
+	return &wire{
+		c:       c,
+		br:      bufio.NewReaderSize(c, 1<<16),
+		bw:      bufio.NewWriterSize(c, 1<<16),
+		scratch: make([]byte, 1<<16),
+		traffic: traffic,
+	}
+}
+
+func (w *wire) close() {
+	if w != nil && w.c != nil {
+		w.c.Close()
+	}
+}
+
+func (w *wire) count(n int) {
+	if w.traffic != nil {
+		w.traffic.Add(int64(n))
+	}
+}
+
+// writeSmall sends a hello/config/error frame and flushes.
+func (w *wire) writeSmall(kind byte, payload []byte) error {
+	var hdr [9]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(1+len(payload)))
+	hdr[8] = kind
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.count(len(hdr) + len(payload))
+	return w.bw.Flush()
+}
+
+// writeFactors sends one factor frame and flushes.
+func (w *wire) writeFactors(h factorHeader, data []float32) error {
+	if int(h.Rows)*int(h.K) != len(data) {
+		return fmt.Errorf("shard: factor frame %dx%d does not match %d floats", h.Rows, h.K, len(data))
+	}
+	var hdr [8 + 1 + factorHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(1+factorHeaderLen+len(data)*4))
+	hdr[8] = frameFactors
+	binary.LittleEndian.PutUint32(hdr[9:], h.Iter)
+	binary.LittleEndian.PutUint32(hdr[13:], h.Lo)
+	binary.LittleEndian.PutUint32(hdr[17:], h.Rows)
+	binary.LittleEndian.PutUint32(hdr[21:], h.K)
+	hdr[25] = h.Half
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.writeFloats(data); err != nil {
+		return err
+	}
+	w.count(len(hdr) + len(data)*4)
+	return w.bw.Flush()
+}
+
+// writeFloats streams data through the scratch buffer as little-endian
+// float32s, so a multi-megabyte factor matrix needs no matrix-sized copy.
+func (w *wire) writeFloats(data []float32) error {
+	buf := w.scratch
+	for len(data) > 0 {
+		chunk := len(buf) / 4
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(data[i]))
+		}
+		if _, err := w.bw.Write(buf[:chunk*4]); err != nil {
+			return err
+		}
+		data = data[chunk:]
+	}
+	return nil
+}
+
+// readHeader reads the next frame's length prefix and kind byte.
+func (w *wire) readHeader() (kind byte, bodyLen uint64, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(w.br, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:8])
+	if n < 1 {
+		return 0, 0, fmt.Errorf("shard: empty frame")
+	}
+	w.count(9)
+	return hdr[8], n - 1, nil
+}
+
+// readSmall reads one hello/config/error frame, returning its kind and body.
+func (w *wire) readSmall() (byte, []byte, error) {
+	kind, n, err := w.readHeader()
+	if err != nil {
+		return 0, nil, err
+	}
+	if kind == frameFactors {
+		return 0, nil, fmt.Errorf("shard: unexpected factor frame")
+	}
+	if n > maxSmallFrame {
+		return 0, nil, fmt.Errorf("shard: %d-byte control frame exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(w.br, body); err != nil {
+		return 0, nil, err
+	}
+	w.count(int(n))
+	return kind, body, nil
+}
+
+// expectFactors reads one frame, which must be a factor frame for the given
+// iteration and half covering rows [wantLo, wantLo+wantRows), and decodes
+// its payload into dst (indexed in the frame's own row space, so receiving
+// a shard lands at dst[wantLo*k:]). A frameError surfaces as the worker's
+// own message.
+func (w *wire) expectFactors(iter int, half byte, k int, dst []float32, wantLo, wantRows int) error {
+	kind, n, err := w.readHeader()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case frameError:
+		if n > maxSmallFrame {
+			return fmt.Errorf("shard: oversized error frame")
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(w.br, msg); err != nil {
+			return fmt.Errorf("shard: peer failed (message lost: %v)", err)
+		}
+		return fmt.Errorf("shard: peer failed: %s", msg)
+	case frameFactors:
+	default:
+		return fmt.Errorf("shard: unexpected frame kind %d (want factors)", kind)
+	}
+	var hb [factorHeaderLen]byte
+	if _, err := io.ReadFull(w.br, hb[:]); err != nil {
+		return err
+	}
+	h := factorHeader{
+		Iter: binary.LittleEndian.Uint32(hb[0:]),
+		Lo:   binary.LittleEndian.Uint32(hb[4:]),
+		Rows: binary.LittleEndian.Uint32(hb[8:]),
+		K:    binary.LittleEndian.Uint32(hb[12:]),
+		Half: hb[16],
+	}
+	if h.Iter != uint32(iter) || h.Half != half || h.K != uint32(k) ||
+		h.Lo != uint32(wantLo) || h.Rows != uint32(wantRows) {
+		return fmt.Errorf("shard: factor frame (iter=%d half=%d rows [%d,%d) k=%d) does not match expected (iter=%d half=%d rows [%d,%d) k=%d)",
+			h.Iter, h.Half, h.Lo, int(h.Lo)+int(h.Rows), h.K, iter, half, wantLo, wantLo+wantRows, k)
+	}
+	if n != uint64(factorHeaderLen)+uint64(wantRows)*uint64(k)*4 {
+		return fmt.Errorf("shard: factor frame length %d does not match %dx%d payload", n, wantRows, k)
+	}
+	if err := w.readFloats(dst[wantLo*k : (wantLo+wantRows)*k]); err != nil {
+		return err
+	}
+	w.count(int(n))
+	return nil
+}
+
+// readFloats decodes len(dst) little-endian float32s through the scratch
+// buffer.
+func (w *wire) readFloats(dst []float32) error {
+	buf := w.scratch
+	for len(dst) > 0 {
+		chunk := len(buf) / 4
+		if chunk > len(dst) {
+			chunk = len(dst)
+		}
+		if _, err := io.ReadFull(w.br, buf[:chunk*4]); err != nil {
+			return err
+		}
+		for i := 0; i < chunk; i++ {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		dst = dst[chunk:]
+	}
+	return nil
+}

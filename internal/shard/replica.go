@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// scoreMaxN bounds a /shard/v1/score heap independently of the serving
+// config (the frontend enforces its own MaxN; this is the shard's backstop
+// against an unbounded internal request).
+const scoreMaxN = 10000
+
+// ReplicaConfig describes one shard replica's place in the fleet.
+type ReplicaConfig struct {
+	// Index / Count name the shard: the replica serves item range
+	// Range(total, Index, Count).
+	Index, Count int
+	// MaxStaleness bounds /readyz freshness when the replica follows a
+	// checkpoint watcher (0 disables the age check; see serve.Readiness).
+	MaxStaleness time.Duration
+	// Clock overrides time for readiness (tests); nil is real time.
+	Clock checkpoint.Clock
+}
+
+// Replica wraps a serve.Server into one shard of the item catalog. The
+// ordinary endpoints keep working — /v1/recommend answers partial top-N
+// over the local slice with global item indices — and four internal
+// endpoints give the scatter-gather frontend what it needs:
+//
+//	GET  /shard/v1/info      shard identity, slice bounds, model meta
+//	POST /shard/v1/partials  partial Gram/RHS terms for a fold-in solve
+//	POST /shard/v1/score     top-N of the local slice for a given factor
+//	POST /shard/v1/purge     drop a user's cached responses (fold-in write)
+//
+// plus a public GET /readyz, so frontends health-check replicas without
+// needing the debug listener.
+type Replica struct {
+	srv   *serve.Server
+	cfg   ReplicaConfig
+	ready func() error
+	mux   *http.ServeMux
+}
+
+// NewReplica wraps srv as shard Index of Count.
+func NewReplica(srv *serve.Server, cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Count < 1 || cfg.Index < 0 || cfg.Index >= cfg.Count {
+		return nil, fmt.Errorf("shard: replica %d/%d is not 0 <= i < N", cfg.Index, cfg.Count)
+	}
+	r := &Replica{srv: srv, cfg: cfg,
+		ready: serve.Readiness(srv, cfg.MaxStaleness, cfg.Clock)}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("GET /readyz", r.handleReady)
+	mux.HandleFunc("GET /shard/v1/info", srv.Instrument("shardinfo", r.handleInfo))
+	mux.HandleFunc("POST /shard/v1/partials", srv.Instrument("partials", r.handlePartials))
+	mux.HandleFunc("POST /shard/v1/score", srv.Instrument("score", r.handleScore))
+	mux.HandleFunc("POST /shard/v1/purge", srv.Instrument("purge", r.handlePurge))
+	mux.HandleFunc("POST /admin/swap", srv.Instrument("swap", r.handleSwap))
+	r.mux = mux
+	return r, nil
+}
+
+// Handler returns the replica's routing (shard endpoints layered over the
+// wrapped server's).
+func (r *Replica) Handler() http.Handler { return r.mux }
+
+// Server returns the wrapped serving core.
+func (r *Replica) Server() *serve.Server { return r.srv }
+
+// Swap slices a full model down to this shard's range and installs it.
+func (r *Replica) Swap(m *core.Model, rated *sparse.CSR, version string) *serve.Snapshot {
+	view, off, total := SliceModel(m, r.cfg.Index, r.cfg.Count)
+	return r.srv.SwapShard(view, rated, version, off, total)
+}
+
+// Transform is the serve.WatcherConfig.Transform hook: it slices each
+// checkpoint the watcher loads down to this shard's range, making the
+// checkpoint directory the fleet's shard-sync mechanism.
+func (r *Replica) Transform(m *core.Model) (*core.Model, int, int) {
+	return SliceModel(m, r.cfg.Index, r.cfg.Count)
+}
+
+func (r *Replica) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if err := r.ready(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// InfoResponse answers /shard/v1/info.
+type InfoResponse struct {
+	Shard          int     `json:"shard"`
+	Of             int     `json:"of"`
+	ItemOffset     int     `json:"item_offset"`
+	ShardItems     int     `json:"shard_items"`
+	TotalItems     int     `json:"total_items"`
+	Users          int     `json:"users"`
+	K              int     `json:"k"`
+	Lambda         float32 `json:"lambda"`
+	WeightedLambda bool    `json:"weighted_lambda"`
+	Compact        bool    `json:"compact"`
+	Version        string  `json:"version"`
+	Seq            uint64  `json:"seq"`
+}
+
+func (r *Replica) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	sn := r.srv.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	total, off := sn.ItemTotal, sn.ItemOffset
+	if total == 0 {
+		total = sn.Model.Y.Rows
+	}
+	writeJSON(w, InfoResponse{
+		Shard: r.cfg.Index, Of: r.cfg.Count,
+		ItemOffset: off, ShardItems: sn.Model.Y.Rows, TotalItems: total,
+		Users: sn.Model.X.Rows, K: sn.Model.K,
+		Lambda: sn.Model.Meta.Lambda, WeightedLambda: sn.Model.Meta.WeightedLambda,
+		Compact: sn.Model.UserIDs != nil,
+		Version: sn.Version, Seq: sn.Seq,
+	})
+}
+
+// PartialsRequest asks for this shard's contribution to a fold-in solve:
+// the cold-start user's ratings in global item indices. Out-of-slice items
+// are skipped — every shard sees the full request and contributes exactly
+// its slice, so the frontend's sum covers each rating once.
+type PartialsRequest struct {
+	Items   []int32   `json:"items"`
+	Ratings []float32 `json:"ratings"`
+}
+
+// PartialsResponse carries the shard's partial normal equations: the packed
+// upper-triangular Gram term Σ y_i·y_iᵀ and right-hand side Σ r_i·y_i over
+// the shard-local rated items, without the λI the frontend adds once.
+type PartialsResponse struct {
+	K       int       `json:"k"`
+	Gram    []float32 `json:"gram"`
+	RHS     []float32 `json:"rhs"`
+	Local   int       `json:"local"` // ratings that fell in this slice
+	Version string    `json:"version"`
+	Seq     uint64    `json:"seq"`
+}
+
+func (r *Replica) handlePartials(w http.ResponseWriter, req *http.Request) {
+	sn := r.srv.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	var pr PartialsRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(pr.Items) != len(pr.Ratings) {
+		httpError(w, http.StatusBadRequest, "items and ratings lengths differ")
+		return
+	}
+	k := sn.Model.K
+	off, rows := sn.ItemOffset, sn.Model.Y.Rows
+	var cols []int32
+	var vals []float32
+	for z, g := range pr.Items {
+		if int(g) >= off && int(g) < off+rows {
+			cols = append(cols, g-int32(off))
+			vals = append(vals, pr.Ratings[z])
+		}
+	}
+	packed := make([]float32, linalg.PackedLen(k))
+	rhs := make([]float32, k)
+	// GramRHSFused zeroes both outputs, so an empty local set still
+	// returns valid all-zero terms.
+	linalg.GramRHSFused(sn.Model.Y.Data, k, cols, vals, packed, rhs)
+	writeJSON(w, PartialsResponse{K: k, Gram: packed, RHS: rhs, Local: len(cols),
+		Version: sn.Version, Seq: sn.Seq})
+}
+
+// ScoreRequest asks for the shard's top-N against a caller-provided user
+// factor (the frontend's fold-in solution), excluding the given global
+// item indices.
+type ScoreRequest struct {
+	X       []float32 `json:"x"`
+	N       int       `json:"n"`
+	Exclude []int32   `json:"exclude,omitempty"`
+}
+
+// ScoreResponse carries the shard-local top-N in global item indices.
+type ScoreResponse struct {
+	Version string          `json:"version"`
+	Seq     uint64          `json:"seq"`
+	Items   []serve.RecItem `json:"items"`
+}
+
+func (r *Replica) handleScore(w http.ResponseWriter, req *http.Request) {
+	sn := r.srv.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	var sr ScoreRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(sr.X) != sn.Model.K {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("x has %d components, model k=%d", len(sr.X), sn.Model.K))
+		return
+	}
+	if sr.N <= 0 || sr.N > scoreMaxN {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be in [1,%d]", scoreMaxN))
+		return
+	}
+	off := sn.ItemOffset
+	var excluded func(int) bool
+	if len(sr.Exclude) > 0 {
+		ex := make(map[int]bool, len(sr.Exclude))
+		for _, g := range sr.Exclude {
+			if int(g) >= off && int(g) < off+sn.Model.Y.Rows {
+				ex[int(g)-off] = true
+			}
+		}
+		excluded = func(i int) bool { return ex[i] }
+	}
+	scored, err := r.srv.Scorer().TopN(req.Context(), sr.X, sn.Model.Y, excluded, sr.N)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	items := make([]serve.RecItem, len(scored))
+	for i, s := range scored {
+		items[i] = serve.RecItem{Item: s.Item + off, Score: s.Score}
+		if sn.Model.ItemIDs != nil {
+			items[i].ID = sn.Model.ItemLabel(s.Item)
+		}
+	}
+	writeJSON(w, ScoreResponse{Version: sn.Version, Seq: sn.Seq, Items: items})
+}
+
+// PurgeRequest names the user whose cached responses must be dropped.
+type PurgeRequest struct {
+	User int64 `json:"user"`
+}
+
+// PurgeResponse reports how many cache entries were removed.
+type PurgeResponse struct {
+	Purged int `json:"purged"`
+}
+
+func (r *Replica) handlePurge(w http.ResponseWriter, req *http.Request) {
+	sn := r.srv.Current()
+	if sn == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	var pr PurgeRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	purged := 0
+	if u, ok := sn.UserIndex(pr.User); ok {
+		purged = r.srv.ResponseCache().PurgeUser(u)
+	}
+	writeJSON(w, PurgeResponse{Purged: purged})
+}
+
+// handleSwap overrides the wrapped server's /admin/swap: the loaded model
+// is sliced to this shard's range before installation, so an operator can
+// push one model path to the whole fleet.
+func (r *Replica) handleSwap(w http.ResponseWriter, req *http.Request) {
+	var sr serve.SwapRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if sr.Model == "" {
+		httpError(w, http.StatusBadRequest, "need model path")
+		return
+	}
+	oneBased := true
+	if sr.OneBased != nil {
+		oneBased = *sr.OneBased
+	}
+	m, rated, err := serve.LoadSnapshotFiles(sr.Model, sr.Ratings, oneBased)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sn := r.Swap(m, rated, sr.Version)
+	writeJSON(w, serve.SwapResponse{Version: sn.Version, Seq: sn.Seq,
+		Users: sn.Model.X.Rows, Items: sn.Model.Y.Rows, K: sn.Model.K})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

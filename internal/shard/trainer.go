@@ -1,0 +1,526 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/host"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+	"repro/internal/variant"
+)
+
+// DataSpec tells a worker process how to materialize the training matrix on
+// its own, exactly as the alstrain front-end does: generate or read the
+// dataset, then carve off the held-out fraction with dataset.Split seeded at
+// Seed+1. Dataset generation and splitting are deterministic, so every
+// worker — and the single-process reference run — sees byte-identical
+// ratings, which is what the trainer's bit-identity guarantee rests on.
+type DataSpec struct {
+	Preset   string  `json:"preset,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Input    string  `json:"input,omitempty"`
+	OneBased bool    `json:"one_based,omitempty"`
+	Compact  bool    `json:"compact,omitempty"`
+	TestFrac float64 `json:"test_frac"`
+	Seed     int64   `json:"seed"`
+}
+
+// Load materializes the training matrix the spec describes.
+func (sp DataSpec) Load() (*sparse.Matrix, error) {
+	var ds *dataset.Dataset
+	switch {
+	case sp.Input != "":
+		if sp.Compact {
+			cd, err := dataset.LoadCompact(sp.Input, sp.OneBased)
+			if err != nil {
+				return nil, err
+			}
+			ds = cd.Dataset
+		} else {
+			var err error
+			ds, err = dataset.Load(sp.Input, sp.OneBased)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case sp.Preset != "":
+		p, err := dataset.PresetByName(sp.Preset)
+		if err != nil {
+			return nil, err
+		}
+		scale := sp.Scale
+		if scale <= 0 {
+			scale = 0.01
+		}
+		ds = p.ScaledForBench(scale).Generate(sp.Seed)
+	default:
+		return nil, fmt.Errorf("shard: data spec names neither an input file nor a preset")
+	}
+	mx := ds.Matrix
+	if sp.TestFrac > 0 {
+		train, _, err := dataset.Split(mx, sp.TestFrac, sp.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		mx = train
+	}
+	return mx, nil
+}
+
+// TrainerConfig configures a distributed data-parallel training run.
+type TrainerConfig struct {
+	// Workers is the number of worker processes (>= 1; 1 is a degenerate
+	// but valid single-worker exchange).
+	Workers int
+	// ListenAddr is the coordinator's listen address (default
+	// "127.0.0.1:0" — an ephemeral loopback port).
+	ListenAddr string
+	// Spawn starts worker rank, pointing it at the coordinator address,
+	// and returns a stop function (called on coordinator failure so no
+	// worker outlives a dead run). Nil runs workers as in-process
+	// goroutines — the unit-test and library mode; alstrain execs itself
+	// with -dist-rank instead.
+	Spawn func(rank int, addr string) (stop func(), err error)
+	// Timeout bounds the worker handshake and every blocking exchange
+	// read (default 10m: a half-iteration on a large preset is minutes of
+	// compute between frames).
+	Timeout time.Duration
+
+	K              int
+	Lambda         float32
+	Iterations     int
+	Seed           int64
+	WeightedLambda bool
+	// Flat selects the flat-baseline scheduling inside each worker;
+	// Variant the kernel toggles (UseRecommended substitutes the host
+	// recommendation vec+fus when Variant is zero).
+	Flat           bool
+	Variant        variant.Options
+	UseRecommended bool
+	// Threads is the per-worker goroutine count (0 = GOMAXPROCS).
+	Threads int
+
+	// Data is shipped to every worker, which loads the training matrix
+	// itself rather than receiving it over the wire.
+	Data DataSpec
+
+	// Checkpointing (coordinator-side, same semantics as core.Train): the
+	// assembled factors are written after every CheckpointEvery-th
+	// iteration and the final one, and Resume restarts from the newest
+	// valid checkpoint, shipping the restored factors to the workers.
+	CheckpointDir   string
+	CheckpointEvery int
+	CheckpointKeep  int
+	Resume          bool
+	CheckpointFS    checkpoint.FS
+
+	// Registry, when set, gains als_dist_broadcast_bytes_total: the bytes
+	// relayed through the coordinator (worker shards in, assembled
+	// factors out, frame headers included).
+	Registry *obs.Registry
+}
+
+// TrainInfo reports how a distributed run went.
+type TrainInfo struct {
+	Workers int
+	Seconds float64
+	// BroadcastBytes is the total exchange traffic through the
+	// coordinator: every factor shard received plus every assembled
+	// factor matrix sent, frame headers included.
+	BroadcastBytes int64
+	ResumedFrom    int
+	Variant        string
+}
+
+// workerConfig is the JSON config frame the coordinator sends each worker.
+type workerConfig struct {
+	Workers        int      `json:"workers"`
+	Rank           int      `json:"rank"`
+	K              int      `json:"k"`
+	Lambda         float32  `json:"lambda"`
+	Iterations     int      `json:"iterations"`
+	Seed           int64    `json:"seed"`
+	WeightedLambda bool     `json:"weighted_lambda"`
+	Flat           bool     `json:"flat"`
+	VariantID      string   `json:"variant_id"`
+	Threads        int      `json:"threads"`
+	StartIteration int      `json:"start_iteration"`
+	Data           DataSpec `json:"data"`
+}
+
+func (cfg *TrainerConfig) setDefaults() {
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 5
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Minute
+	}
+	if cfg.UseRecommended && !cfg.Flat && cfg.Variant == (variant.Options{}) {
+		cfg.Variant = variant.Options{Vector: true, Fused: true}
+	}
+}
+
+// variantName labels the run the way core.Train does, so distributed
+// checkpoints interoperate with single-process resume and the serving
+// watcher.
+func (cfg *TrainerConfig) variantName() string {
+	if cfg.Flat {
+		return "flat baseline"
+	}
+	return cfg.Variant.String()
+}
+
+// Train runs the coordinator of a distributed data-parallel ALS job. mx is
+// the training matrix (already split, exactly what Data describes) — the
+// coordinator uses it only for its dimensions and never touches the
+// ratings; each worker loads its own copy from Data.
+//
+// The exchange is a BSP star: per half-iteration every worker solves its
+// static row range and sends that shard up, the coordinator assembles the
+// full side and broadcasts it back, and no worker starts the next half
+// before holding the complete fixed factor. Row updates are pure functions
+// of (row data, fixed factors, λ, k, variant), so the assembled model is
+// bit-identical to a single-process run with the same seed.
+func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error) {
+	if mx == nil || mx.NNZ() == 0 {
+		return nil, nil, fmt.Errorf("shard: empty rating matrix")
+	}
+	if cfg.Workers < 1 {
+		return nil, nil, fmt.Errorf("shard: need at least 1 worker, got %d", cfg.Workers)
+	}
+	cfg.setDefaults()
+	m, n, k := mx.Rows(), mx.Cols(), cfg.K
+	vname := cfg.variantName()
+
+	fsys := cfg.CheckpointFS
+	if fsys == nil {
+		fsys = checkpoint.OS
+	}
+	start, resumedFrom := 0, 0
+	var resumeX, resumeY *linalg.Dense
+	if cfg.CheckpointDir != "" && cfg.Resume {
+		st, _, err := checkpoint.LoadLatest(fsys, cfg.CheckpointDir)
+		switch {
+		case err == nil:
+			if err := resumeMismatch(st, &cfg, vname); err != nil {
+				return nil, nil, err
+			}
+			if st.X.Rows != m || st.Y.Rows != n {
+				return nil, nil, fmt.Errorf("shard: checkpoint factors (%dx%d users, %dx%d items) do not match the dataset (%d users, %d items)",
+					st.X.Rows, st.X.Cols, st.Y.Rows, st.Y.Cols, m, n)
+			}
+			start, resumedFrom = st.Iteration, st.Iteration
+			resumeX, resumeY = st.X, st.Y
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+		default:
+			return nil, nil, fmt.Errorf("shard: resuming from %s: %w", cfg.CheckpointDir, err)
+		}
+	}
+
+	// Coordinator-side factor buffers: assembled from worker shards each
+	// half. The initial contents only matter for a resumed run (they seed
+	// the workers); a fresh run overwrites both in the first iteration.
+	x := linalg.NewDense(m, k)
+	y := host.InitialY(n, k, cfg.Seed)
+	if resumeX != nil {
+		x, y = resumeX, resumeY
+	}
+	model := &core.Model{K: k, X: x, Y: y,
+		Meta: core.Meta{Lambda: cfg.Lambda, WeightedLambda: cfg.WeightedLambda}}
+	info := &TrainInfo{Workers: cfg.Workers, ResumedFrom: resumedFrom, Variant: vname}
+	if start >= cfg.Iterations {
+		// The checkpoint already covers the requested iterations; nothing
+		// to distribute.
+		return model, info, nil
+	}
+
+	lis, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: coordinator listen: %w", err)
+	}
+	defer lis.Close()
+	addr := lis.Addr().String()
+
+	var traffic atomic.Int64
+	spawn := cfg.Spawn
+	if spawn == nil {
+		spawn = func(rank int, addr string) (func(), error) {
+			go RunWorker(addr, rank)
+			return func() {}, nil
+		}
+	}
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for rank := 0; rank < cfg.Workers; rank++ {
+		stop, err := spawn(rank, addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: spawning worker %d: %w", rank, err)
+		}
+		stops = append(stops, stop)
+	}
+
+	conns, err := acceptWorkers(lis, cfg.Workers, cfg.Timeout, &traffic)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		for _, wc := range conns {
+			wc.close()
+		}
+	}()
+
+	for rank, wc := range conns {
+		wcfg := workerConfig{
+			Workers: cfg.Workers, Rank: rank,
+			K: k, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
+			WeightedLambda: cfg.WeightedLambda, Flat: cfg.Flat,
+			VariantID: cfg.Variant.ID(), Threads: cfg.Threads,
+			StartIteration: start, Data: cfg.Data,
+		}
+		body, err := json.Marshal(wcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := wc.writeSmall(frameConfig, body); err != nil {
+			return nil, nil, fmt.Errorf("shard: sending config to worker %d: %w", rank, err)
+		}
+		if start > 0 {
+			// Seed resumed workers with the checkpointed factors; fresh
+			// workers derive the identical start state themselves.
+			if err := wc.writeFactors(factorHeader{Iter: uint32(start), Half: halfX, Lo: 0, Rows: uint32(m), K: uint32(k)}, x.Data); err != nil {
+				return nil, nil, fmt.Errorf("shard: seeding worker %d: %w", rank, err)
+			}
+			if err := wc.writeFactors(factorHeader{Iter: uint32(start), Half: halfY, Lo: 0, Rows: uint32(n), K: uint32(k)}, y.Data); err != nil {
+				return nil, nil, fmt.Errorf("shard: seeding worker %d: %w", rank, err)
+			}
+		}
+	}
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	keep := cfg.CheckpointKeep
+	if keep <= 0 {
+		keep = 3
+	}
+	trainStart := time.Now()
+	for it := start + 1; it <= cfg.Iterations; it++ {
+		if err := relayHalf(conns, it, halfX, m, k, x.Data, cfg.Timeout); err != nil {
+			return nil, nil, fmt.Errorf("shard: iteration %d X half: %w", it, err)
+		}
+		if err := relayHalf(conns, it, halfY, n, k, y.Data, cfg.Timeout); err != nil {
+			return nil, nil, fmt.Errorf("shard: iteration %d Y half: %w", it, err)
+		}
+		if cfg.CheckpointDir != "" && (it%every == 0 || it == cfg.Iterations) {
+			st := &checkpoint.State{
+				Iteration: it, K: k, Lambda: cfg.Lambda,
+				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
+				Variant: vname, X: x, Y: y,
+			}
+			if _, err := checkpoint.Save(fsys, cfg.CheckpointDir, st); err != nil {
+				return nil, nil, fmt.Errorf("shard: iteration %d checkpoint: %w", it, err)
+			}
+			if err := checkpoint.GC(fsys, cfg.CheckpointDir, keep); err != nil {
+				return nil, nil, fmt.Errorf("shard: iteration %d checkpoint GC: %w", it, err)
+			}
+		}
+	}
+	info.Seconds = time.Since(trainStart).Seconds()
+	info.BroadcastBytes = traffic.Load()
+	if cfg.Registry != nil {
+		cfg.Registry.Counter("als_dist_broadcast_bytes_total",
+			"Factor-exchange bytes relayed through the distributed trainer coordinator.").
+			With().Add(float64(info.BroadcastBytes))
+	}
+	return model, info, nil
+}
+
+// acceptWorkers collects one hello-identified connection per rank.
+func acceptWorkers(lis net.Listener, workers int, timeout time.Duration, traffic *atomic.Int64) ([]*wire, error) {
+	deadline := time.Now().Add(timeout)
+	if tl, ok := lis.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	conns := make([]*wire, workers)
+	bail := func(err error) ([]*wire, error) {
+		for _, wc := range conns {
+			wc.close()
+		}
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		c, err := lis.Accept()
+		if err != nil {
+			return bail(fmt.Errorf("shard: waiting for %d worker(s): %w", workers-i, err))
+		}
+		c.SetReadDeadline(deadline)
+		wc := newWire(c, traffic)
+		kind, body, err := wc.readSmall()
+		if err != nil || kind != frameHello || len(body) != 4 {
+			wc.close()
+			return bail(fmt.Errorf("shard: bad hello from %s (kind=%d err=%v)", c.RemoteAddr(), kind, err))
+		}
+		rank := int(int32(uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16 | uint32(body[3])<<24))
+		if rank < 0 || rank >= workers || conns[rank] != nil {
+			wc.close()
+			return bail(fmt.Errorf("shard: hello with invalid or duplicate rank %d", rank))
+		}
+		c.SetReadDeadline(time.Time{})
+		conns[rank] = wc
+	}
+	return conns, nil
+}
+
+// relayHalf runs one half-iteration exchange: gather every worker's
+// contiguous shard into dst, then broadcast the assembled side back.
+func relayHalf(conns []*wire, it int, half byte, rows, k int, dst []float32, timeout time.Duration) error {
+	workers := len(conns)
+	for rank, wc := range conns {
+		lo, hi := Range(rows, rank, workers)
+		wc.c.SetReadDeadline(time.Now().Add(timeout))
+		if err := wc.expectFactors(it, half, k, dst, lo, hi-lo); err != nil {
+			return fmt.Errorf("worker %d: %w", rank, err)
+		}
+	}
+	h := factorHeader{Iter: uint32(it), Half: half, Lo: 0, Rows: uint32(rows), K: uint32(k)}
+	for rank, wc := range conns {
+		if err := wc.writeFactors(h, dst); err != nil {
+			return fmt.Errorf("worker %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// resumeMismatch mirrors core.Train's checkpoint compatibility checks.
+func resumeMismatch(st *checkpoint.State, cfg *TrainerConfig, vname string) error {
+	switch {
+	case st.K != cfg.K:
+		return fmt.Errorf("shard: checkpoint has k=%d, run wants k=%d", st.K, cfg.K)
+	case st.Lambda != cfg.Lambda:
+		return fmt.Errorf("shard: checkpoint has lambda=%g, run wants %g", st.Lambda, cfg.Lambda)
+	case st.Seed != cfg.Seed:
+		return fmt.Errorf("shard: checkpoint has seed=%d, run wants %d", st.Seed, cfg.Seed)
+	case st.WeightedLambda != cfg.WeightedLambda:
+		return fmt.Errorf("shard: checkpoint lambda convention (weighted=%v) does not match run (weighted=%v)",
+			st.WeightedLambda, cfg.WeightedLambda)
+	case st.Variant != vname:
+		return fmt.Errorf("shard: checkpoint was trained with variant %q, run wants %q", st.Variant, vname)
+	}
+	return nil
+}
+
+// RunWorker connects to a coordinator, identifies as rank, and serves one
+// worker's share of a distributed training run: load the dataset the
+// config frame describes, then per half-iteration solve the static row
+// range this rank owns, send the shard up, and receive the assembled side
+// back. It returns when training completes or the coordinator goes away —
+// a worker never outlives its run.
+func RunWorker(coordAddr string, rank int) error {
+	c, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("shard: worker %d dialing %s: %w", rank, coordAddr, err)
+	}
+	w := newWire(c, nil)
+	defer w.close()
+
+	hello := []byte{byte(rank), byte(rank >> 8), byte(rank >> 16), byte(rank >> 24)}
+	if err := w.writeSmall(frameHello, hello); err != nil {
+		return err
+	}
+	kind, body, err := w.readSmall()
+	if err != nil {
+		return err
+	}
+	if kind != frameConfig {
+		return fmt.Errorf("shard: worker %d: unexpected frame kind %d (want config)", rank, kind)
+	}
+	var cfg workerConfig
+	if err := json.Unmarshal(body, &cfg); err != nil {
+		return fmt.Errorf("shard: worker %d: bad config: %w", rank, err)
+	}
+	if cfg.Rank != rank {
+		return fmt.Errorf("shard: worker %d received config for rank %d", rank, cfg.Rank)
+	}
+
+	// From here on, failures are reported to the coordinator before
+	// returning, so the whole run dies with the worker's message instead
+	// of a bare connection reset.
+	fail := func(err error) error {
+		w.writeSmall(frameError, []byte(err.Error()))
+		return err
+	}
+
+	v, err := variant.ParseID(cfg.VariantID)
+	if err != nil {
+		return fail(err)
+	}
+	mx, err := cfg.Data.Load()
+	if err != nil {
+		return fail(fmt.Errorf("worker %d: %w", rank, err))
+	}
+	m, n, k := mx.Rows(), mx.Cols(), cfg.K
+	x := linalg.NewDense(m, k)
+	y := host.InitialY(n, k, cfg.Seed)
+	if cfg.StartIteration > 0 {
+		st := uint32(cfg.StartIteration)
+		if err := w.expectFactors(int(st), halfX, k, x.Data, 0, m); err != nil {
+			return fmt.Errorf("shard: worker %d resume seed: %w", rank, err)
+		}
+		if err := w.expectFactors(int(st), halfY, k, y.Data, 0, n); err != nil {
+			return fmt.Errorf("shard: worker %d resume seed: %w", rank, err)
+		}
+	}
+
+	// The Y half runs the same row updates on Rᵀ, viewed zero-copy through
+	// the CSC arrays exactly as host.Train does.
+	rt := &sparse.CSR{NumRows: n, NumCols: m, RowPtr: mx.C.ColPtr, ColIdx: mx.C.RowIdx, Val: mx.C.Val}
+	ru := host.NewRangeUpdater(host.Config{
+		K: k, Lambda: cfg.Lambda, Workers: cfg.Threads,
+		Flat: cfg.Flat, Variant: v, WeightedLambda: cfg.WeightedLambda,
+	})
+	defer ru.Close()
+
+	lo, hi := Range(m, rank, cfg.Workers)
+	ylo, yhi := Range(n, rank, cfg.Workers)
+	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
+		if err := ru.UpdateRange(mx.R, y, x, lo, hi, it, true); err != nil {
+			return fail(fmt.Errorf("worker %d iteration %d X: %w", rank, it, err))
+		}
+		if err := w.writeFactors(factorHeader{Iter: uint32(it), Half: halfX, Lo: uint32(lo), Rows: uint32(hi - lo), K: uint32(k)}, x.Data[lo*k:hi*k]); err != nil {
+			return err
+		}
+		if err := w.expectFactors(it, halfX, k, x.Data, 0, m); err != nil {
+			return err
+		}
+		if err := ru.UpdateRange(rt, x, y, ylo, yhi, it, false); err != nil {
+			return fail(fmt.Errorf("worker %d iteration %d Y: %w", rank, it, err))
+		}
+		if err := w.writeFactors(factorHeader{Iter: uint32(it), Half: halfY, Lo: uint32(ylo), Rows: uint32(yhi - ylo), K: uint32(k)}, y.Data[ylo*k:yhi*k]); err != nil {
+			return err
+		}
+		if err := w.expectFactors(it, halfY, k, y.Data, 0, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -29,6 +29,25 @@ func (m *CSR) Row(u int) (cols []int32, vals []float32) {
 	return m.ColIdx[lo:hi], m.Val[lo:hi]
 }
 
+// RowRange returns a zero-copy view of rows [lo, hi): the nonzero storage is
+// shared with m (only the small row-pointer slice is rebased), and column
+// indices keep their original meaning. The distributed trainer and the
+// cluster simulation both partition a side matrix this way.
+func (m *CSR) RowRange(lo, hi int) *CSR {
+	view := &CSR{
+		NumRows: hi - lo,
+		NumCols: m.NumCols,
+		RowPtr:  make([]int64, hi-lo+1),
+	}
+	base := m.RowPtr[lo]
+	for j := 0; j <= hi-lo; j++ {
+		view.RowPtr[j] = m.RowPtr[lo+j] - base
+	}
+	view.ColIdx = m.ColIdx[base:m.RowPtr[hi]]
+	view.Val = m.Val[base:m.RowPtr[hi]]
+	return view
+}
+
 // At returns the value at (row, col), or 0 if the coordinate is not stored.
 // Rows are kept column-sorted, so the lookup is a binary search.
 func (m *CSR) At(row, col int) float32 {
