@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture ci obs-smoke chaos-smoke dist-smoke experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture ci obs-smoke chaos-smoke dist-smoke quant-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -23,8 +23,9 @@ test-short:
 # the observability smoke lane (a real 1-iteration alstrain run scraped
 # over -debug-addr; fails on unparseable exposition output), the chaos
 # smoke lane (a fully poisoned run must converge, expose its recovery
-# counters, and be bit-reproducible), and a one-shot bench smoke so
-# benchmark code cannot rot unnoticed.
+# counters, and be bit-reproducible), the quantized-serving smoke lane
+# (f16/i8 serving must track the f32 ranking), and a one-shot bench smoke
+# so benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -37,6 +38,7 @@ ci:
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) dist-smoke
+	$(MAKE) quant-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Observability smoke: build alstrain, run one training iteration with
@@ -52,6 +54,14 @@ obs-smoke:
 # failure under -strict-numerics.
 chaos-smoke:
 	$(GO) test -run TestAlstrainChaosSmoke -count=1 ./internal/guard
+
+# Quantized-serving smoke: through the real binaries, train a tiny preset
+# model and serve it at f32, f16 and i8 (alsserve -precision); each
+# quantized server's top-10 must overlap the f32 ranking by >= 0.9 on
+# average, /v1/model must report the precision, and /metrics must pass the
+# strict exposition parser with the precision and quantization-error gauges.
+quant-smoke:
+	$(GO) test -run TestQuantSmoke -count=1 ./internal/quant
 
 # Distributed smoke: through the real binaries, train a tiny preset with
 # -workers 2 and require the model byte-identical to single-process, then

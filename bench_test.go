@@ -21,6 +21,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/quant"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/variant"
@@ -501,4 +502,43 @@ func BenchmarkTopN(b *testing.B) {
 			}
 		}
 	})
+	// The quantized serving path at both compressed precisions: the same
+	// sharded scorer, dispatched to the fused dequant-dot-TopK kernels.
+	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
+		q, err := quant.EncodeDense(y, prec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("sharded-"+prec.String(), func(b *testing.B) {
+			sc := serve.NewScorer(0)
+			defer sc.Close()
+			ex := serve.RatedExcluder(m, 0)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := sc.TopNQuant(ctx, x.Row(0), q, ex, 10)
+				if err != nil || len(out) != 10 {
+					b.Fatalf("sharded quant top-N: %d items, %v", len(out), err)
+				}
+			}
+		})
+		// The bare kernel scan with a prepared query: the steady-state inner
+		// loop, which must stay at 0 allocs/op (pinned by
+		// quant.TestScanZeroAllocs; ReportAllocs makes regressions visible
+		// in bench output too).
+		b.Run("scan-"+prec.String(), func(b *testing.B) {
+			ex := serve.RatedExcluder(m, 0)
+			qr := q.Prepare(x.Row(0))
+			t := metrics.NewTopK(10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Reset()
+				q.ScanTopK(qr, 0, q.Rows, ex, t)
+				if t.Len() != 10 {
+					b.Fatal("wrong top-N size")
+				}
+			}
+		})
+	}
 }

@@ -29,10 +29,11 @@ import (
 )
 
 type modelInfo struct {
-	Version string `json:"version"`
-	Users   int    `json:"users"`
-	Items   int    `json:"items"`
-	K       int    `json:"k"`
+	Version   string `json:"version"`
+	Users     int    `json:"users"`
+	Items     int    `json:"items"`
+	K         int    `json:"k"`
+	Precision string `json:"precision"`
 }
 
 type result struct {
@@ -55,15 +56,19 @@ type stats struct {
 }
 
 type captureOut struct {
-	Label       string    `json:"label,omitempty"`
-	Targets     []string  `json:"targets"`
-	DurationSec float64   `json:"duration_sec"`
-	Concurrency int       `json:"concurrency_per_target"`
-	N           int       `json:"n"`
-	FoldinFrac  float64   `json:"foldin_frac"`
-	PerTarget   []stats   `json:"per_target"`
-	Aggregate   stats     `json:"aggregate"`
-	CapturedAt  time.Time `json:"captured_at"`
+	Label       string   `json:"label,omitempty"`
+	Targets     []string `json:"targets"`
+	DurationSec float64  `json:"duration_sec"`
+	Concurrency int      `json:"concurrency_per_target"`
+	N           int      `json:"n"`
+	FoldinFrac  float64  `json:"foldin_frac"`
+	// Precision is the scoring precision the targets report at /v1/model
+	// ("mixed" if they disagree), making captures comparable across the
+	// f32/f16/i8 serving dimension.
+	Precision  string    `json:"precision,omitempty"`
+	PerTarget  []stats   `json:"per_target"`
+	Aggregate  stats     `json:"aggregate"`
+	CapturedAt time.Time `json:"captured_at"`
 }
 
 func main() {
@@ -108,8 +113,14 @@ func main() {
 			fail(fmt.Errorf("discovering model at %s (is it running?): %w", t, err))
 		}
 		infos[i] = info
-		fmt.Printf("alsload: target %s serving %s: %d users x %d items (k=%d)\n",
-			t, info.Version, info.Users, info.Items, info.K)
+		fmt.Printf("alsload: target %s serving %s: %d users x %d items (k=%d, precision=%s)\n",
+			t, info.Version, info.Users, info.Items, info.K, orF32(info.Precision))
+	}
+	precision := orF32(infos[0].Precision)
+	for _, info := range infos[1:] {
+		if orF32(info.Precision) != precision {
+			precision = "mixed"
+		}
 	}
 	fmt.Printf("alsload: %d workers/target x %d target(s), %v, n=%d, user skew %.2f, fold-in %.0f%%\n",
 		*concurrency, len(targets), *duration, *n, *skew, *foldinFrac*100)
@@ -174,7 +185,7 @@ func main() {
 		out := captureOut{
 			Label: *label, Targets: targets,
 			DurationSec: duration.Seconds(), Concurrency: *concurrency,
-			N: *n, FoldinFrac: *foldinFrac,
+			N: *n, FoldinFrac: *foldinFrac, Precision: precision,
 			PerTarget: perTarget, Aggregate: agg,
 			CapturedAt: time.Now().UTC(),
 		}
@@ -222,6 +233,14 @@ func printCodes(codes map[int]int) {
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// orF32 defaults an absent precision (a pre-quantization server) to f32.
+func orF32(p string) string {
+	if p == "" {
+		return "f32"
+	}
+	return p
+}
 
 type driveOpts struct {
 	n      int

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/quant"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
@@ -59,6 +60,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the same metrics plus process health, /healthz, /readyz and /debug/pprof on a second address (keeps profiling off the public listener)")
 	maxStale := flag.Duration("max-staleness", 0, "readiness bound for -debug-addr's /readyz: fail once the last checkpoint installed by -watch is older than this (0 disables the age check)")
 	shardSpec := flag.String("shard", "", "serve as shard i/N of an item-partitioned fleet (e.g. 0/3): only rows [i*items/N, (i+1)*items/N) of the item factors are kept, and the /shard/v1/* endpoints for alsfront are enabled")
+	precision := flag.String("precision", "f32", "scoring precision for the item factors: f32, f16 or i8; quantized precisions compress each swapped-in model once per swap and score with the fused dequantizing kernels (fold-in still solves in float32)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -69,11 +71,17 @@ func main() {
 		fail(fmt.Errorf("need -model or -watch"))
 	}
 
+	prec, err := quant.Parse(*precision)
+	if err != nil {
+		fail(err)
+	}
+
 	srv := serve.New(serve.Config{
 		Workers: *workers, Queue: *queue, Timeout: *timeout,
 		CacheSize: *cacheSize, MaxN: *maxN,
 	})
 	defer srv.Close()
+	srv.SetPrecision(prec)
 	var rep *shard.Replica
 	if *shardSpec != "" {
 		idx, of, err := shard.ParseSpec(*shardSpec)
@@ -111,8 +119,8 @@ func main() {
 				sn.Version, sn.Seq, *shardSpec, sn.ItemOffset, sn.ItemOffset+sn.Model.Y.Rows, sn.ItemTotal, m.X.Rows, m.K)
 		} else {
 			sn := srv.Swap(m, rated, *version)
-			fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d\n",
-				sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K)
+			fmt.Printf("alsserve: model %s (seq %d): %d users x %d items, k=%d, precision=%s\n",
+				sn.Version, sn.Seq, m.X.Rows, m.Y.Rows, m.K, sn.Precision)
 		}
 	}
 

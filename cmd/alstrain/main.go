@@ -25,6 +25,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/quant"
 	"repro/internal/shard"
 	"repro/internal/variant"
 )
@@ -49,6 +50,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe training checkpoints into this directory")
 	ckptEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoints")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "newest checkpoints to retain (older ones are garbage-collected)")
+	ckptPrec := flag.String("checkpoint-precision", "f32", "factor precision for written checkpoints: f32, f16 or i8; quantized checkpoints are 2-4x smaller and hot-swap straight into alsserve -precision, but cannot seed -resume")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (fresh start when none exists)")
 	strict := flag.Bool("strict-numerics", false, "fail fast on the first numerical fault instead of climbing the recovery ladder (host platform)")
 	chaosSpec := flag.String("chaos", "", "inject deterministic numerical faults, e.g. nan=1,inf=1,gram=2,fail=1,blowup=2,seed=7 (host platform; tests the resilience layer)")
@@ -188,12 +190,23 @@ func main() {
 		fmt.Printf("chaos: %s\n", gd.Chaos)
 	}
 
+	ckPrec, err := quant.Parse(*ckptPrec)
+	if err != nil {
+		fail(err)
+	}
+	if ckPrec != quant.F32 && *resume {
+		// A quantized checkpoint is lossy; resuming from it could not be
+		// bit-identical, so core rejects it at load time — fail fast here.
+		fail(fmt.Errorf("-checkpoint-precision %s does not compose with -resume (quantized checkpoints are lossy)", ckPrec))
+	}
+
 	cfg := core.Config{
 		K: *k, Lambda: float32(*lambda), Iterations: *iters, Seed: *seed,
 		Platform: *platform, AutoVariant: *auto, UseRecommended: *variantID == "",
 		WeightedLambda: *weighted,
 		CheckpointDir:  *ckptDir, CheckpointEvery: *ckptEvery,
-		CheckpointKeep: *ckptKeep, Resume: *resume, Obs: rec,
+		CheckpointKeep: *ckptKeep, CheckpointPrecision: ckPrec,
+		Resume: *resume, Obs: rec,
 		Guard: gd,
 	}
 	if *variantID != "" {
@@ -232,7 +245,8 @@ func main() {
 				TestFrac: *testFrac, Seed: *seed,
 			},
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
-			CheckpointKeep: *ckptKeep, Resume: *resume,
+			CheckpointKeep: *ckptKeep, CheckpointPrecision: ckPrec,
+			Resume:   *resume,
 			Registry: reg,
 			Spawn: func(rank int, addr string) (func(), error) {
 				cmd := exec.Command(exe, "-dist-rank", strconv.Itoa(rank), "-dist-coord", addr)

@@ -29,15 +29,22 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/linalg"
+	"repro/internal/quant"
 )
 
 // Magic identifies a checkpoint file ("ALSK").
 const Magic = uint32(0x414C534B)
 
 // FormatVersion is bumped on any incompatible layout change; Load rejects
-// versions it does not know. The golden-file test pins version 1 byte for
-// byte.
-const FormatVersion = uint32(1)
+// versions it does not know but keeps decoding every version it ever
+// wrote. Version 2 added the precision byte and quantized factor
+// sections; version 1 files (always float32) still load. Golden-file
+// tests pin both versions byte for byte.
+const FormatVersion = uint32(2)
+
+// formatV1 is the pre-quantization layout: no precision byte, factors
+// always raw float32.
+const formatV1 = uint32(1)
 
 const (
 	maxVariantLen = 256
@@ -73,6 +80,19 @@ type State struct {
 	Variant        string  // code-variant ID the run used (e.g. "tb+vec+fus")
 
 	X, Y *linalg.Dense // user (m×k) and item (n×k) factors
+
+	// Precision selects the on-disk factor encoding. F32 (the zero value)
+	// writes raw float32 exactly like format v1; F16/I8 write per-row-scaled
+	// quantized sections instead, shrinking the file 2–4×. X and Y above
+	// stay float32 in memory either way — Decode dequantizes — so every
+	// consumer of State keeps working regardless of the file's precision.
+	Precision quant.Precision
+
+	// QX, QY hold the quantized factors when Precision != F32: Encode
+	// reuses them verbatim when they match (byte-stable round trips) and
+	// Decode populates them so the serving layer can install the compressed
+	// matrix without re-encoding. Nil on float32 checkpoints.
+	QX, QY *quant.Matrix
 
 	History []host.IterStats // per-half-iteration loss when tracked
 }
@@ -113,6 +133,9 @@ func (st *State) validate() error {
 	if len(st.History) > maxHistory {
 		return fmt.Errorf("checkpoint: history longer than %d entries", maxHistory)
 	}
+	if !st.Precision.Valid() {
+		return fmt.Errorf("checkpoint: unknown precision %v", st.Precision)
+	}
 	return nil
 }
 
@@ -122,21 +145,35 @@ func (st *State) validate() error {
 // no Stat). A size test pins it against real Encode output.
 func (st *State) EncodedSize() int64 {
 	const (
-		header    = 7 * 8         // magic..seed, uint64 each
-		fixed     = 4 + 1 + 2 + 4 // lambda + weighted + variant len + history len
-		histEntry = 4 + 1 + 8 + 8 // iteration, half, loss, elapsed
-		trailer   = 4             // CRC-32C
+		header    = 7 * 8             // magic..seed, uint64 each
+		fixed     = 4 + 1 + 1 + 2 + 4 // lambda + weighted + precision + variant len + history len
+		histEntry = 4 + 1 + 8 + 8     // iteration, half, loss, elapsed
+		trailer   = 4                 // CRC-32C
 	)
 	n := int64(header + fixed + trailer)
 	n += int64(len(st.Variant))
 	n += int64(len(st.History)) * histEntry
 	if st.X != nil {
-		n += 4 * int64(len(st.X.Data))
+		n += factorSize(st.X.Rows, st.X.Cols, st.Precision)
 	}
 	if st.Y != nil {
-		n += 4 * int64(len(st.Y.Data))
+		n += factorSize(st.Y.Rows, st.Y.Cols, st.Precision)
 	}
 	return n
+}
+
+// factorSize is the on-disk byte count of one factor matrix section: raw
+// float32 elements at F32, or max-abs-error + per-row scales + compact
+// payload for a quantized precision.
+func factorSize(rows, cols int, prec quant.Precision) int64 {
+	elems := int64(rows) * int64(cols)
+	switch prec {
+	case quant.F16:
+		return 8 + 4*int64(rows) + 2*elems
+	case quant.I8:
+		return 8 + 4*int64(rows) + elems
+	}
+	return 4 * elems
 }
 
 // crcWriter checksums everything written through it.
@@ -192,6 +229,9 @@ func Encode(w io.Writer, st *State) error {
 	if err := binary.Write(cw, binary.LittleEndian, weighted); err != nil {
 		return err
 	}
+	if err := binary.Write(cw, binary.LittleEndian, uint8(st.Precision)); err != nil {
+		return err
+	}
 	if err := binary.Write(cw, binary.LittleEndian, uint16(len(st.Variant))); err != nil {
 		return err
 	}
@@ -219,10 +259,10 @@ func Encode(w io.Writer, st *State) error {
 			return err
 		}
 	}
-	if err := binary.Write(cw, binary.LittleEndian, st.X.Data); err != nil {
+	if err := writeFactor(cw, st.X, st.QX, st.Precision); err != nil {
 		return err
 	}
-	if err := binary.Write(cw, binary.LittleEndian, st.Y.Data); err != nil {
+	if err := writeFactor(cw, st.Y, st.QY, st.Precision); err != nil {
 		return err
 	}
 	// The trailer is written outside the CRC writer.
@@ -230,6 +270,85 @@ func Encode(w io.Writer, st *State) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeFactor emits one factor section at the state's precision. F32 is
+// the raw float32 data, byte-compatible with format v1's payload. For a
+// quantized precision the section is max-abs-error (float64 bits), the
+// per-row scales, then the packed payload; an already-quantized matrix of
+// matching shape is written verbatim (so decode→encode round trips are
+// byte-stable), otherwise the float32 factors are quantized here.
+func writeFactor(cw *crcWriter, d *linalg.Dense, q *quant.Matrix, prec quant.Precision) error {
+	if prec == quant.F32 {
+		return binary.Write(cw, binary.LittleEndian, d.Data)
+	}
+	if q == nil || q.Prec != prec || q.Rows != d.Rows || q.Cols != d.Cols {
+		var err error
+		if q, err = quant.EncodeDense(d, prec); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(q.MaxAbsErr)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, q.Scales); err != nil {
+		return err
+	}
+	switch prec {
+	case quant.F16:
+		return binary.Write(cw, binary.LittleEndian, q.F16)
+	default:
+		return binary.Write(cw, binary.LittleEndian, q.I8)
+	}
+}
+
+// readFactor reads one factor section at the given precision, returning
+// the float32 matrix (dequantized if needed) and, for quantized sections,
+// the compact form.
+func readFactor(cr *crcReader, rows, cols int, prec quant.Precision) (*linalg.Dense, *quant.Matrix, error) {
+	if prec == quant.F32 {
+		d := linalg.NewDense(rows, cols)
+		if err := binary.Read(cr, binary.LittleEndian, &d.Data); err != nil {
+			return nil, nil, err
+		}
+		return d, nil, nil
+	}
+	var errBits uint64
+	if err := binary.Read(cr, binary.LittleEndian, &errBits); err != nil {
+		return nil, nil, err
+	}
+	q := &quant.Matrix{
+		Prec: prec, Rows: rows, Cols: cols,
+		Scales:    make([]float32, rows),
+		MaxAbsErr: math.Float64frombits(errBits),
+	}
+	if math.IsNaN(q.MaxAbsErr) || q.MaxAbsErr < 0 {
+		return nil, nil, fmt.Errorf("invalid max-abs-error %v", q.MaxAbsErr)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &q.Scales); err != nil {
+		return nil, nil, err
+	}
+	for r, s := range q.Scales {
+		// A negative or non-finite scale cannot come from EncodeDense and
+		// would poison every score in its row; the CRC catches random
+		// corruption, this catches a systematically bad writer.
+		if s < 0 || math.IsNaN(float64(s)) || math.IsInf(float64(s), 0) {
+			return nil, nil, fmt.Errorf("invalid row scale %v at row %d", s, r)
+		}
+	}
+	var err error
+	switch prec {
+	case quant.F16:
+		q.F16 = make([]uint16, rows*cols)
+		err = binary.Read(cr, binary.LittleEndian, &q.F16)
+	default:
+		q.I8 = make([]int8, rows*cols)
+		err = binary.Read(cr, binary.LittleEndian, &q.I8)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.Decode(), q, nil
 }
 
 // Decode reads a checkpoint written by Encode, verifying format version,
@@ -247,8 +366,10 @@ func Decode(r io.Reader) (*State, error) {
 	if uint32(hdr[0]) != Magic {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", hdr[0])
 	}
-	if v := uint32(hdr[1]); v != FormatVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d)", v, FormatVersion)
+	version := uint32(hdr[1])
+	if version != formatV1 && version != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d or %d)",
+			version, formatV1, FormatVersion)
 	}
 	k, m, n := int64(hdr[2]), int64(hdr[3]), int64(hdr[4])
 	// Division, not multiplication: m*k on attacker-controlled dims can
@@ -276,6 +397,16 @@ func Decode(r io.Reader) (*State, error) {
 		return nil, fmt.Errorf("checkpoint: invalid lambda convention %d", weighted)
 	}
 	st.WeightedLambda = weighted == 1
+	if version >= 2 {
+		var prec uint8
+		if err := binary.Read(cr, binary.LittleEndian, &prec); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading precision: %w", err)
+		}
+		st.Precision = quant.Precision(prec)
+		if !st.Precision.Valid() {
+			return nil, fmt.Errorf("checkpoint: invalid precision %d", prec)
+		}
+	}
 	var vlen uint16
 	if err := binary.Read(cr, binary.LittleEndian, &vlen); err != nil {
 		return nil, fmt.Errorf("checkpoint: reading variant length: %w", err)
@@ -326,13 +457,12 @@ func Decode(r io.Reader) (*State, error) {
 			h.Elapsed = time.Duration(elapsed)
 		}
 	}
-	st.X = linalg.NewDense(int(m), int(k))
-	st.Y = linalg.NewDense(int(n), int(k))
-	if err := binary.Read(cr, binary.LittleEndian, &st.X.Data); err != nil {
-		return nil, fmt.Errorf("checkpoint: reading X: %w", err)
+	var ferr error
+	if st.X, st.QX, ferr = readFactor(cr, int(m), int(k), st.Precision); ferr != nil {
+		return nil, fmt.Errorf("checkpoint: reading X: %w", ferr)
 	}
-	if err := binary.Read(cr, binary.LittleEndian, &st.Y.Data); err != nil {
-		return nil, fmt.Errorf("checkpoint: reading Y: %w", err)
+	if st.Y, st.QY, ferr = readFactor(cr, int(n), int(k), st.Precision); ferr != nil {
+		return nil, fmt.Errorf("checkpoint: reading Y: %w", ferr)
 	}
 	sum := cr.crc
 	var stored uint32

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/linalg"
+	"repro/internal/quant"
 )
 
 // testState builds a small deterministic State; the seed offsets the float
@@ -39,7 +40,8 @@ func statesEqual(t *testing.T, want, got *State) {
 	t.Helper()
 	if got.Iteration != want.Iteration || got.K != want.K ||
 		got.Lambda != want.Lambda || got.WeightedLambda != want.WeightedLambda ||
-		got.Seed != want.Seed || got.Variant != want.Variant {
+		got.Seed != want.Seed || got.Variant != want.Variant ||
+		got.Precision != want.Precision {
 		t.Fatalf("scalar state mismatch:\nwant %+v\ngot  %+v", want, got)
 	}
 	if d := linalg.MaxAbsDiff(want.X, got.X); d != 0 {
@@ -66,12 +68,51 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	statesEqual(t, st, got)
 }
 
+// TestQuantizedRoundTrip: a state saved at a quantized precision decodes
+// with the compact factors attached and float32 factors dequantized
+// within the recorded error bound, and a decode→encode round trip is
+// byte-stable (the decoded quantized payload is written back verbatim,
+// not re-quantized through the lossy float32 view).
+func TestQuantizedRoundTrip(t *testing.T) {
+	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
+		orig := testState(4, 1.5)
+		orig.Precision = prec
+		var buf bytes.Buffer
+		if err := Encode(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Precision != prec || got.QX == nil || got.QY == nil {
+			t.Fatalf("%v: decoded precision %v, QX %v, QY %v", prec, got.Precision, got.QX, got.QY)
+		}
+		if d := float64(linalg.MaxAbsDiff(orig.X, got.X)); d > got.QX.MaxAbsErr+1e-12 {
+			t.Errorf("%v: X moved by %g, recorded max error %g", prec, d, got.QX.MaxAbsErr)
+		}
+		if d := float64(linalg.MaxAbsDiff(orig.Y, got.Y)); d > got.QY.MaxAbsErr+1e-12 {
+			t.Errorf("%v: Y moved by %g, recorded max error %g", prec, d, got.QY.MaxAbsErr)
+		}
+		var again bytes.Buffer
+		if err := Encode(&again, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Errorf("%v: decode→encode is not byte-stable", prec)
+		}
+	}
+}
+
 // TestEncodedSizeMatchesEncode pins EncodedSize to the real on-disk byte
-// count, with and without history and with an empty variant label.
+// count, with and without history, with an empty variant label, and at
+// every precision.
 func TestEncodedSizeMatchesEncode(t *testing.T) {
-	states := []*State{testState(7, 1.5), testState(2, 0)}
+	states := []*State{testState(7, 1.5), testState(2, 0), testState(3, 1), testState(4, 1)}
 	states[1].History = nil
 	states[1].Variant = ""
+	states[2].Precision = quant.F16
+	states[3].Precision = quant.I8
 	for i, st := range states {
 		var buf bytes.Buffer
 		if err := Encode(&buf, st); err != nil {
@@ -229,6 +270,11 @@ func TestEncodeValidatesState(t *testing.T) {
 	bad.Iteration = -1
 	if err := Encode(&buf, bad); err == nil {
 		t.Fatal("negative iteration accepted")
+	}
+	bad = testState(1, 1)
+	bad.Precision = quant.Precision(9)
+	if err := Encode(&buf, bad); err == nil {
+		t.Fatal("unknown precision accepted")
 	}
 }
 

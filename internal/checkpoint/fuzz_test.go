@@ -3,13 +3,16 @@ package checkpoint
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/quant"
 )
 
 // FuzzLoadCheckpoint: the checkpoint decoder must return errors — never
 // panic, never allocate unboundedly — on arbitrary input, and anything it
-// accepts must survive an encode/decode round trip. Seeded with a valid
-// checkpoint plus the corruption shapes crashes actually produce:
-// truncations and bit flips.
+// accepts must survive an encode/decode round trip. Seeded with valid
+// checkpoints at every precision (the v2 quantized sections carry their
+// own scale/error fields for the fuzzer to mangle) plus the corruption
+// shapes crashes actually produce: truncations and bit flips.
 func FuzzLoadCheckpoint(f *testing.F) {
 	st := testState(3, 1.25)
 	var buf bytes.Buffer
@@ -25,6 +28,20 @@ func FuzzLoadCheckpoint(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/3] ^= 0x01
 	f.Add(flipped)
+	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
+		qst := testState(5, 0.75)
+		qst.Precision = prec
+		var qbuf bytes.Buffer
+		if err := Encode(&qbuf, qst); err != nil {
+			f.Fatal(err)
+		}
+		qvalid := qbuf.Bytes()
+		f.Add(qvalid)
+		f.Add(qvalid[:len(qvalid)*3/4]) // truncated inside the quantized payload
+		qflip := append([]byte(nil), qvalid...)
+		qflip[len(qflip)/2] ^= 0x10
+		f.Add(qflip)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := Decode(bytes.NewReader(data))
 		if err != nil {

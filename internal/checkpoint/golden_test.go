@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,16 +11,17 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/linalg"
+	"repro/internal/quant"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite the golden checkpoint file")
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden checkpoint files")
 
 // goldenState is a fixed small model: every byte of its encoding is
-// pinned by testdata/golden_v1.alsck. Changing the encoder in any way —
+// pinned by testdata/golden_v2*.alsck. Changing the encoder in any way —
 // field order, widths, endianness, CRC — breaks this test instead of
 // silently breaking users' old checkpoints. A deliberate format change
 // must bump FormatVersion, regenerate with -update-golden, and keep (or
-// consciously drop) the ability to read the old version.
+// consciously drop) the ability to read the old versions.
 func goldenState() *State {
 	const k, m, n = 2, 3, 2
 	x := linalg.NewDense(m, k)
@@ -40,12 +42,13 @@ func goldenState() *State {
 	}
 }
 
-func TestGoldenCheckpointFormat(t *testing.T) {
+func checkGolden(t *testing.T, name string, st *State) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	if err := Encode(&buf, goldenState()); err != nil {
+	if err := Encode(&buf, st); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "golden_v1.alsck")
+	path := filepath.Join("testdata", name)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -63,14 +66,62 @@ func TestGoldenCheckpointFormat(t *testing.T) {
 		for i < len(want) && i < buf.Len() && want[i] == buf.Bytes()[i] {
 			i++
 		}
-		t.Fatalf("on-disk checkpoint format drifted: encoded %d bytes, golden %d bytes, first difference at offset %d.\n"+
+		t.Fatalf("on-disk checkpoint format drifted (%s): encoded %d bytes, golden %d bytes, first difference at offset %d.\n"+
 			"If the change is deliberate: bump FormatVersion and regenerate with -update-golden.",
-			buf.Len(), len(want), i)
+			name, buf.Len(), len(want), i)
 	}
+	return want
+}
+
+func TestGoldenCheckpointFormat(t *testing.T) {
+	want := checkGolden(t, "golden_v2.alsck", goldenState())
 	// The golden bytes must also decode back to the golden state.
 	st, err := Decode(bytes.NewReader(want))
 	if err != nil {
 		t.Fatal(err)
+	}
+	statesEqual(t, goldenState(), st)
+}
+
+// TestGoldenQuantizedFormats pins the v2 quantized factor sections byte
+// for byte and checks the decoded factors sit within the recorded
+// quantization error of the originals.
+func TestGoldenQuantizedFormats(t *testing.T) {
+	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
+		orig := goldenState()
+		orig.Precision = prec
+		want := checkGolden(t, fmt.Sprintf("golden_v2_%s.alsck", prec), orig)
+		st, err := Decode(bytes.NewReader(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Precision != prec || st.QX == nil || st.QY == nil {
+			t.Fatalf("%v: decoded precision %v, QX %v, QY %v", prec, st.Precision, st.QX, st.QY)
+		}
+		ref := goldenState()
+		if d := float64(linalg.MaxAbsDiff(ref.X, st.X)); d > st.QX.MaxAbsErr+1e-12 {
+			t.Errorf("%v: X moved by %g, recorded max error %g", prec, d, st.QX.MaxAbsErr)
+		}
+		if d := float64(linalg.MaxAbsDiff(ref.Y, st.Y)); d > st.QY.MaxAbsErr+1e-12 {
+			t.Errorf("%v: Y moved by %g, recorded max error %g", prec, d, st.QY.MaxAbsErr)
+		}
+	}
+}
+
+// TestGoldenV1StillLoads is the backward-compatibility gate: the pinned
+// format-v1 file (written before the precision byte existed) must keep
+// decoding to the exact same state, reported as float32 precision.
+func TestGoldenV1StillLoads(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_v1.alsck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("format v1 no longer decodes: %v", err)
+	}
+	if st.Precision != quant.F32 || st.QX != nil || st.QY != nil {
+		t.Fatalf("v1 decoded as precision %v (QX %v, QY %v), want plain f32", st.Precision, st.QX, st.QY)
 	}
 	statesEqual(t, goldenState(), st)
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/quant"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -107,6 +108,13 @@ type Config struct {
 	// CheckpointFS overrides the filesystem checkpoints go through
 	// (nil = the real disk); tests inject checkpoint.MemFS faults here.
 	CheckpointFS checkpoint.FS
+	// CheckpointPrecision selects the factor encoding checkpoints are
+	// written with (format v2): F32 (default) is lossless, F16/I8 shrink
+	// the file 2–4× for serving-oriented runs. Quantized checkpoints
+	// cannot be Resumed (the factors are lossy, so a bit-identical
+	// continuation is impossible); divergence rollback still uses them,
+	// dequantized, since an escalated-λ replay is approximate anyway.
+	CheckpointPrecision quant.Precision
 
 	// Obs, when set, receives the training-run observability stream (host
 	// platform only): half-iteration spans, worker utilization, stage
@@ -181,6 +189,12 @@ type Model struct {
 	ItemIDs []int64 // optional: external item ID per row of Y
 
 	Meta Meta // optional provenance; persisted by Save when non-zero
+
+	// QY is the quantized item-factor matrix when the model came from a
+	// compressed (format v2) checkpoint: the serving layer installs it
+	// directly instead of re-encoding Y. Transient — Save does not persist
+	// it, and it is nil for float32 models.
+	QY *quant.Matrix
 }
 
 // Predict estimates the rating of item i by user u (Eq. 1: x_u·y_iᵀ).
@@ -357,7 +371,8 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 				Iteration: it, K: cfg.K, Lambda: cfg.Lambda,
 				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
 				Variant: variantName(cfg.Baseline, v), X: x, Y: y,
-				History: concatHistory(preHistory, hist),
+				Precision: cfg.CheckpointPrecision,
+				History:   concatHistory(preHistory, hist),
 			}
 			saveStart := time.Now()
 			_, err := checkpoint.Save(fsys, cfg.CheckpointDir, st)
@@ -404,6 +419,11 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 			st, _, lerr := checkpoint.LoadLatest(fsys, cfg.CheckpointDir)
 			switch {
 			case lerr == nil:
+				// st.X/st.Y are dequantized float32 regardless of the file's
+				// precision, so a rollback works from quantized checkpoints
+				// too (the replay runs with escalated λ and is approximate
+				// by construction — resumeMismatch's lossless rule is for
+				// plain resumes, not recovery).
 				hostCfg.StartIteration = st.Iteration
 				hostCfg.ResumeX, hostCfg.ResumeY = st.X, st.Y
 				preHistory = st.History
@@ -482,6 +502,11 @@ func resumeMismatch(st *checkpoint.State, cfg *Config, variantID string) error {
 			st.WeightedLambda, cfg.WeightedLambda)
 	case st.Variant != variantID:
 		return fmt.Errorf("core: checkpoint was trained with variant %q, run wants %q", st.Variant, variantID)
+	case st.Precision != quant.F32:
+		// Quantization is lossy: resuming from dequantized factors would
+		// produce a run that claims bit-identity with the original but
+		// is not. (Divergence rollback deliberately skips this check.)
+		return fmt.Errorf("core: checkpoint factors are quantized (%v); resume requires a float32 checkpoint", st.Precision)
 	}
 	return nil
 }

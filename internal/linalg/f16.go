@@ -1,0 +1,76 @@
+package linalg
+
+import (
+	"math"
+	"math/bits"
+)
+
+// IEEE 754 binary16 ("half") conversion primitives. Go has no native
+// float16, so the quantized serving path stores halves as raw uint16 bits
+// and converts at the edges: F32ToF16 on encode (once per swap) and
+// F16ToF32 on every scan element. Both are exact where exactness is
+// possible — every binary16 value is representable in float32, and the
+// narrowing direction rounds to nearest, ties to even, exactly as a
+// hardware VCVTPS2PH would.
+
+// F32ToF16 converts a float32 to binary16 bits with round-to-nearest-even.
+// Values above the binary16 range overflow to ±Inf, tiny values pass
+// through the binary16 subnormal range and then flush to signed zero, and
+// NaN becomes a quiet NaN.
+func F32ToF16(x float32) uint16 {
+	b := math.Float32bits(x)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	man := b & 0x007fffff
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if man != 0 {
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00
+	case exp > 142: // >= 2^16: past the largest finite half (65504)
+		return sign | 0x7c00
+	case exp >= 113: // normal binary16
+		h := sign | uint16(exp-112)<<10 | uint16(man>>13)
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && man>>13&1 == 1) {
+			h++ // a mantissa carry rolls into the exponent field correctly
+		}
+		return h
+	case exp >= 103: // binary16 subnormal: value = mantissa * 2^-24
+		man |= 0x00800000
+		shift := uint(126 - exp)
+		h := sign | uint16(man>>shift)
+		rem := man & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && man>>shift&1 == 1) {
+			h++
+		}
+		return h
+	default: // below the smallest subnormal half: signed zero
+		return sign
+	}
+}
+
+// F16ToF32 converts binary16 bits to the float32 with the same value
+// (exact: binary16 is a subset of float32).
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7fc00000 | man<<13)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp != 0: // normal
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	case man != 0: // subnormal: man * 2^-24, normalized for float32
+		p := uint32(31 - bits.LeadingZeros32(man)) // man ∈ [1, 0x3ff]
+		r := man &^ (1 << p)
+		return math.Float32frombits(sign | (p+103)<<23 | r<<(23-p))
+	default:
+		return math.Float32frombits(sign) // signed zero
+	}
+}

@@ -1,0 +1,93 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestF16RoundTripExhaustive decodes every one of the 65536 half
+// bit-patterns and re-encodes it; every non-NaN pattern must survive the
+// round trip bit-exactly (binary16 is a subset of float32, and narrowing a
+// value that is exactly representable must not move it).
+func TestF16RoundTripExhaustive(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		f := F16ToF32(h)
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 { // NaN: payload is not preserved
+			if !math.IsNaN(float64(f)) {
+				t.Fatalf("F16ToF32(%#04x) = %v, want NaN", h, f)
+			}
+			continue
+		}
+		if got := F32ToF16(f); got != h {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", h, f, got)
+		}
+	}
+}
+
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},                 // largest finite half
+		{6.103515625e-05, 0x0400},       // smallest normal half (2^-14)
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal half (2^-24)
+		{float32(math.Inf(1)), 0x7c00},  // +Inf
+		{float32(math.Inf(-1)), 0xfc00}, // -Inf
+		{65536, 0x7c00},                 // overflow to +Inf
+		{1e-10, 0x0000},                 // underflow to zero
+		{0.333251953125, 0x3555},        // 1/3 rounded to half precision
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+	}
+	if got := F32ToF16(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("F32ToF16(NaN) = %#04x, not a half NaN", got)
+	}
+}
+
+// TestF16RoundToNearestEven pins the tie-breaking behavior on exact
+// midpoints between adjacent halves.
+func TestF16RoundToNearestEven(t *testing.T) {
+	cases := []struct {
+		f    float32
+		want uint16
+	}{
+		// 1 + 2^-11 is halfway between 1.0 (mantissa ...00) and 1+2^-10
+		// (mantissa ...01): ties go to the even mantissa, so down to 1.0.
+		{1 + 0x1p-11, 0x3c00},
+		// 1 + 2^-10 + 2^-11 is halfway between mantissa ...01 and ...10:
+		// ties to even rounds up.
+		{1 + 0x1p-10 + 0x1p-11, 0x3c02},
+		// Just above a midpoint always rounds up.
+		{1 + 0x1p-11 + 0x1p-20, 0x3c01},
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.want {
+			t.Errorf("F32ToF16(%v) = %#04x, want %#04x", c.f, got, c.want)
+		}
+	}
+}
+
+// TestF16NarrowingError bounds the rounding error of the narrowing
+// conversion: for finite values inside the half range the relative error
+// is at most 2^-11 (half an ulp of the 10-bit mantissa).
+func TestF16NarrowingError(t *testing.T) {
+	vals := []float32{1e-4, 0.1, 0.5, 0.999, 1, 1.5, 3.14159, 100, 1000, 65000}
+	for _, v := range vals {
+		for _, s := range []float32{1, -1} {
+			x := v * s
+			back := F16ToF32(F32ToF16(x))
+			if rel := math.Abs(float64(back-x)) / math.Abs(float64(x)); rel > 0x1p-11 {
+				t.Errorf("F16 round trip of %v moved by rel %v > 2^-11", x, rel)
+			}
+		}
+	}
+}

@@ -71,6 +71,10 @@ func (t *TopK) Merge(o *TopK) {
 	}
 }
 
+// Reset empties the selector in place, keeping its backing storage, so a
+// steady-state serving loop can reuse one selector with zero allocations.
+func (t *TopK) Reset() { t.h = t.h[:0] }
+
 // Drain returns the retained entries strongest-first and resets the
 // selector to empty.
 func (t *TopK) Drain() []Scored {

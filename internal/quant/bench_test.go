@@ -1,0 +1,47 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+)
+
+// BenchmarkScan compares the quantized scan kernels against the float32
+// dot-product scan at the YMR4 serving shape (≈12k items, k=10): one op
+// is one full-catalog top-10 scan, the per-request unit of serving work.
+func BenchmarkScan(b *testing.B) {
+	const rows, k, n = 11916, 10, 10
+	rng := rand.New(rand.NewSource(1))
+	y := randDense(rng, rows, k, 1.0)
+	x := make([]float32, k)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+
+	b.Run("f32", func(b *testing.B) {
+		b.SetBytes(int64(4 * rows * k))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := metrics.NewTopK(n)
+			for r := 0; r < rows; r++ {
+				t.Push(r, linalg.Dot(x, y.Row(r)))
+			}
+		}
+	})
+	for _, prec := range []Precision{F16, I8} {
+		q, err := EncodeDense(y, prec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(prec.String(), func(b *testing.B) {
+			b.SetBytes(int64(q.Bytes()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := metrics.NewTopK(n)
+				q.ScanTopK(q.Prepare(x), 0, rows, nil, t)
+			}
+		})
+	}
+}

@@ -1,0 +1,235 @@
+package quant
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// The scan kernels below are the serving hot path: one call streams a
+// row range of the quantized matrix against a prepared query and offers
+// every unexcluded item to a metrics.TopK. Dequantize, dot and push are
+// fused — no dequantized row is ever materialized — and items are blocked
+// four at a time so four independent accumulator chains overlap, the same
+// trick linalg.GramRHSFusedUnrolled plays on nonzeros. The kernels
+// allocate nothing: a steady-state scan is 0 allocs/request (pinned by
+// test), matching the training loop's zero-allocs-per-row discipline.
+
+// f16Mul rescales the exponent-shifted half bits to their value: decoding
+// a half by bit-shifting alone leaves the exponent biased 15-vs-127, and
+// multiplying by 2^112 corrects it. This maps normal AND subnormal halves
+// exactly (only Inf/NaN would decode wrong, and EncodeDense never emits
+// them), so the kernel needs no branches per element.
+const f16Mul = float32(0x1p112)
+
+func h2f(h uint16) float32 {
+	return math.Float32frombits(uint32(h&0x8000)<<16|uint32(h&0x7fff)<<13) * f16Mul
+}
+
+// Query is a scoring vector prepared once per request: the int8 kernel
+// pre-quantizes the user factor so every shard's scan multiplies int8 by
+// int8 and accumulates exactly in int32 (the widening happens once, in
+// the final float32 scale product). The fp16 kernel reads x as float32
+// and widens each half into a float32 accumulator.
+type Query struct {
+	x      []float32
+	xq     []int8
+	xscale float32
+}
+
+// Prepare builds the Query for one user factor. len(x) must equal Cols.
+// The single slice allocation here (int8 path only) is the request's
+// whole scan overhead; ScanTopK itself allocates nothing.
+func (q *Matrix) Prepare(x []float32) Query {
+	if len(x) != q.Cols {
+		panic("quant: query length does not match matrix width")
+	}
+	qr := Query{x: x}
+	if q.Prec != I8 {
+		return qr
+	}
+	maxAbs := float32(0)
+	for _, v := range x {
+		if a := abs32(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	qr.xq = make([]int8, len(x))
+	if maxAbs == 0 {
+		return qr // all-zero query: every score is exactly 0
+	}
+	qr.xscale = maxAbs / 127
+	inv := 1 / qr.xscale
+	for c, v := range x {
+		iv := int32(math.RoundToEven(float64(v * inv)))
+		if iv > 127 {
+			iv = 127
+		} else if iv < -127 {
+			iv = -127
+		}
+		qr.xq[c] = int8(iv)
+	}
+	return qr
+}
+
+// ScanTopK scores items [lo, hi) against the prepared query and offers
+// each item for which excluded returns false (nil excludes nothing) to t.
+// Callers slab the range and check their context between calls, exactly
+// like the float32 scorer.
+func (q *Matrix) ScanTopK(qr Query, lo, hi int, excluded func(int) bool, t *metrics.TopK) {
+	switch q.Prec {
+	case F16:
+		q.scanF16(qr.x, lo, hi, excluded, t)
+	case I8:
+		q.scanI8(qr.xq, qr.xscale, lo, hi, excluded, t)
+	}
+}
+
+// Score computes one item's quantized score (request paths use ScanTopK;
+// this is for spot checks and evaluation).
+func (q *Matrix) Score(qr Query, i int) float64 {
+	k := q.Cols
+	switch q.Prec {
+	case F16:
+		r := q.F16[i*k:][:k]
+		var s float32
+		for j, xv := range qr.x {
+			s += xv * h2f(r[j])
+		}
+		return float64(s * q.Scales[i])
+	case I8:
+		r := q.I8[i*k:][:k]
+		var s int32
+		for j, xv := range qr.xq {
+			s += int32(xv) * int32(r[j])
+		}
+		return float64(qr.xscale) * float64(q.Scales[i]) * float64(s)
+	}
+	return 0
+}
+
+// sink filters heap pushes through a cached threshold: most candidates in
+// a warm scan lose to the current heap minimum, and the cached compare
+// (inlined, three instructions) skips the non-inlinable Push call for all
+// of them. The exclusion predicate runs behind the same filter — a
+// candidate that cannot enter the heap never pays for it, which turns a
+// per-item binary search (serve.RatedExcluder) into a handful of calls
+// per scan. The filter condition mirrors metrics.weaker exactly —
+// strictly stronger score, or equal score with a lower item index — so
+// the heap contents are identical to pushing every unexcluded candidate.
+type sink struct {
+	t        *metrics.TopK
+	excluded func(int) bool
+	thrScore float64
+	thrItem  int
+	full     bool
+}
+
+func newSink(t *metrics.TopK, excluded func(int) bool) sink {
+	s := sink{t: t, excluded: excluded}
+	s.refresh()
+	return s
+}
+
+func (s *sink) refresh() {
+	thr, full := s.t.Threshold()
+	s.thrScore, s.thrItem, s.full = thr.Score, thr.Item, full
+}
+
+func (s *sink) offer(item int, score float64) {
+	if s.full && (score < s.thrScore || (score == s.thrScore && item > s.thrItem)) {
+		return
+	}
+	if s.excluded != nil && s.excluded(item) {
+		return
+	}
+	s.t.Push(item, score)
+	s.refresh()
+}
+
+func (q *Matrix) scanF16(x []float32, lo, hi int, excluded func(int) bool, t *metrics.TopK) {
+	k := q.Cols
+	sk := newSink(t, excluded)
+	i := lo
+	// Four consecutive rows per pass: their dots are computed branch-free
+	// on contiguous memory (scoring an excluded row costs less than
+	// bookkeeping around it — the sink drops it), and the four accumulator
+	// chains hide each other's FP latency. Strip slices pin each row's
+	// length to len(x), eliding inner bounds checks.
+	for ; i+4 <= hi; i += 4 {
+		base := i * k
+		r0 := q.F16[base:][:len(x)]
+		r1 := q.F16[base+k:][:len(x)]
+		r2 := q.F16[base+2*k:][:len(x)]
+		r3 := q.F16[base+3*k:][:len(x)]
+		var s0, s1, s2, s3 float32
+		for j, xv := range x {
+			s0 += xv * h2f(r0[j])
+			s1 += xv * h2f(r1[j])
+			s2 += xv * h2f(r2[j])
+			s3 += xv * h2f(r3[j])
+		}
+		sk.offer(i, float64(s0*q.Scales[i]))
+		sk.offer(i+1, float64(s1*q.Scales[i+1]))
+		sk.offer(i+2, float64(s2*q.Scales[i+2]))
+		sk.offer(i+3, float64(s3*q.Scales[i+3]))
+	}
+	for ; i < hi; i++ {
+		r := q.F16[i*k:][:len(x)]
+		var s float32
+		for j, xv := range x {
+			s += xv * h2f(r[j])
+		}
+		sk.offer(i, float64(s*q.Scales[i]))
+	}
+}
+
+func (q *Matrix) scanI8(xq []int8, xscale float32, lo, hi int, excluded func(int) bool, t *metrics.TopK) {
+	k := q.Cols
+	sk := newSink(t, excluded)
+	xs := float64(xscale)
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		base := i * k
+		r0 := q.I8[base:][:len(xq)]
+		r1 := q.I8[base+k:][:len(xq)]
+		r2 := q.I8[base+2*k:][:len(xq)]
+		r3 := q.I8[base+3*k:][:len(xq)]
+		// int8×int8 products accumulate exactly in int32 (|p| ≤ 127², far
+		// from overflow for any plausible k); the only rounding in the
+		// whole dot is the final two-scale widening below.
+		var s0, s1, s2, s3 int32
+		for j, xv := range xq {
+			s0 += int32(xv) * int32(r0[j])
+			s1 += int32(xv) * int32(r1[j])
+			s2 += int32(xv) * int32(r2[j])
+			s3 += int32(xv) * int32(r3[j])
+		}
+		sk.offer(i, xs*float64(q.Scales[i])*float64(s0))
+		sk.offer(i+1, xs*float64(q.Scales[i+1])*float64(s1))
+		sk.offer(i+2, xs*float64(q.Scales[i+2])*float64(s2))
+		sk.offer(i+3, xs*float64(q.Scales[i+3])*float64(s3))
+	}
+	for ; i < hi; i++ {
+		r := q.I8[i*k:][:len(xq)]
+		var s int32
+		for j, xv := range xq {
+			s += int32(xv) * int32(r[j])
+		}
+		sk.offer(i, xs*float64(q.Scales[i])*float64(s))
+	}
+}
+
+// TopN scores the full catalog single-threaded and returns the n
+// strongest items, strongest first — the sequential counterpart of the
+// serving scorer's sharded scan, used by evaluation tools and tests. Both
+// push into metrics.TopK, so tie-breaking (lower item index wins) is
+// identical to the float32 path.
+func (q *Matrix) TopN(x []float32, excluded func(int) bool, n int) []metrics.Scored {
+	if n <= 0 || q.Rows == 0 {
+		return nil
+	}
+	t := metrics.NewTopK(n)
+	q.ScanTopK(q.Prepare(x), 0, q.Rows, excluded, t)
+	return t.Drain()
+}

@@ -1,0 +1,187 @@
+package quant_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestQuantSmoke is the end-to-end check the `make quant-smoke` CI lane
+// runs, entirely through the real binaries: train a tiny preset model,
+// serve it at f32, f16 and i8 via alsserve -precision, and require (a)
+// each quantized server's top-10 to overlap the f32 ranking by at least
+// 0.9 on average over a user sample, (b) /v1/model to report the precision,
+// and (c) /metrics to pass the strict exposition parser and carry the
+// precision info gauge plus the quantization error gauge.
+func TestQuantSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the alstrain/alsserve binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"alstrain", "alsserve"} {
+		bin := filepath.Join(dir, name)
+		build := exec.Command("go", "build", "-o", bin, "repro/cmd/"+name)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	model := filepath.Join(dir, "smoke.model")
+	train := exec.Command(bins["alstrain"], "-preset", "MVLE", "-scale", "0.02",
+		"-iters", "6", "-k", "8", "-test-frac", "0", "-seed", "17", "-out", model)
+	if out, err := train.CombinedOutput(); err != nil {
+		t.Fatalf("alstrain: %v\n%s", err, out)
+	}
+
+	users := []int{0, 1, 2, 5, 11, 23, 47, 95}
+	const n = 10
+	tops := map[string]map[int][]int{}
+	for _, prec := range []string{"f32", "f16", "i8"} {
+		addr := startServer(t, bins["alsserve"],
+			[]string{"-model", model, "-precision", prec, "-addr", "127.0.0.1:0"},
+			"alsserve: listening on ")
+		base := "http://" + addr
+
+		var info struct {
+			Precision string `json:"precision"`
+		}
+		getInto(t, base+"/v1/model", &info)
+		if info.Precision != prec {
+			t.Fatalf("/v1/model precision %q, want %q", info.Precision, prec)
+		}
+
+		tops[prec] = map[int][]int{}
+		for _, u := range users {
+			var rec struct {
+				Items []struct {
+					Item int `json:"item"`
+				} `json:"items"`
+			}
+			getInto(t, fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", base, u, n), &rec)
+			if len(rec.Items) != n {
+				t.Fatalf("%s user %d: %d items, want %d", prec, u, len(rec.Items), n)
+			}
+			for _, it := range rec.Items {
+				tops[prec][u] = append(tops[prec][u], it.Item)
+			}
+		}
+
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt, err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+			t.Fatalf("%s exposition invalid: %v\n%s", prec, err, raw)
+		} else if cnt == 0 {
+			t.Fatalf("%s exposition empty", prec)
+		}
+		if want := `als_scorer_precision{precision="` + prec + `"} 1`; !bytes.Contains(raw, []byte(want)) {
+			t.Fatalf("%s exposition lacks %s", prec, want)
+		}
+		if quantized := prec != "f32"; quantized != bytes.Contains(raw, []byte("als_quant_max_abs_error")) {
+			t.Fatalf("%s exposition max-abs-error gauge: present=%v", prec, !quantized)
+		}
+	}
+
+	for _, prec := range []string{"f16", "i8"} {
+		var sum float64
+		for _, u := range users {
+			ref := map[int]bool{}
+			for _, it := range tops["f32"][u] {
+				ref[it] = true
+			}
+			hits := 0
+			for _, it := range tops[prec][u] {
+				if ref[it] {
+					hits++
+				}
+			}
+			sum += float64(hits) / float64(n)
+		}
+		if overlap := sum / float64(len(users)); overlap < 0.9 {
+			t.Fatalf("%s mean overlap@%d vs f32 = %.3f, want >= 0.9", prec, n, overlap)
+		}
+	}
+}
+
+func getInto(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startServer launches a server binary, waits for its "listening on" line,
+// and returns the bound address. The process is killed on test cleanup —
+// including failures — so the smoke lane cannot leak orphans.
+func startServer(t *testing.T, bin string, args []string, listenPrefix string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("%s exited before announcing its address", bin)
+			}
+			if rest, found := strings.CutPrefix(line, listenPrefix); found {
+				addr := strings.Fields(rest)[0]
+				go func() {
+					for range lines {
+					}
+				}()
+				return addr
+			}
+		case <-deadline:
+			t.Fatalf("%s never announced its address", bin)
+		}
+	}
+}

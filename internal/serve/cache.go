@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/quant"
 )
 
 type cacheKey struct {
@@ -12,6 +13,11 @@ type cacheKey struct {
 	seq     uint64
 	user    int
 	n       int
+	// prec keeps responses scored at different precisions apart: an
+	// operator flipping -precision between restarts (same model files,
+	// same version label) must never see f32-scored entries answer for a
+	// quantized snapshot or vice versa.
+	prec quant.Precision
 }
 
 type cacheEntry struct {

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/quant"
+)
+
+// randomModel builds a model with dense random factors in [-1, 1).
+func randomModel(rng *rand.Rand, users, items, k int) *core.Model {
+	return &core.Model{K: k, X: randomDense(rng, users, k), Y: randomDense(rng, items, k)}
+}
+
+// TestScorerTopNQuantMatchesSequential holds the pooled, sharded,
+// slab-scanned TopNQuant item-for-item and score-for-score identical to
+// the sequential quant.TopN reference, including exclusion and the
+// lower-index tie-break across shard boundaries.
+func TestScorerTopNQuantMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	y := linalg.NewDense(1100, 6) // > minShardRows·workers so several shards run
+	for i := range y.Data {
+		y.Data[i] = float32(rng.NormFloat64())
+	}
+	// A block of identical rows forces exact cross-shard ties.
+	copy(y.Row(700), y.Row(10))
+	copy(y.Row(701), y.Row(10))
+	x := make([]float32, 6)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	excluded := func(i int) bool { return i%13 == 0 }
+
+	s := NewScorer(4)
+	defer s.Close()
+	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
+		q, err := quant.EncodeDense(y, prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 10, 50} {
+			got, err := s.TopNQuant(context.Background(), x, q, excluded, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := q.TopN(x, excluded, n)
+			if len(got) != len(want) {
+				t.Fatalf("%v n=%d: %d items, want %d", prec, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v n=%d rank %d: got %+v, want %+v", prec, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRecommendQuantized serves the same model at every precision and
+// checks the responses match the sequential quantized reference exactly,
+// that /v1/model and /metrics report the precision, and that the
+// max-abs-error gauge appears for quantized snapshots.
+func TestRecommendQuantized(t *testing.T) {
+	const users, items, k = 3, 400, 5
+	rng := rand.New(rand.NewSource(31))
+	m := randomModel(rng, users, items, k)
+	for _, prec := range []quant.Precision{quant.F32, quant.F16, quant.I8} {
+		s, ts := newTestServer(t, Config{Workers: 2})
+		s.SetPrecision(prec)
+		sn := s.Swap(m, nil, "q1")
+		if sn.Precision != prec || (prec != quant.F32) != (sn.QY != nil) {
+			t.Fatalf("%v: snapshot precision %v, QY %v", prec, sn.Precision, sn.QY)
+		}
+
+		var mr ModelResponse
+		if code := getJSON(t, ts.URL+"/v1/model", &mr); code != 200 {
+			t.Fatalf("%v: /v1/model HTTP %d", prec, code)
+		}
+		if mr.Precision != prec.String() {
+			t.Fatalf("%v: /v1/model precision %q", prec, mr.Precision)
+		}
+
+		var resp RecommendResponse
+		if code := getJSON(t, ts.URL+"/v1/recommend?user=1&n=7", &resp); code != 200 {
+			t.Fatalf("%v: HTTP %d", prec, code)
+		}
+		if len(resp.Items) != 7 {
+			t.Fatalf("%v: %d items", prec, len(resp.Items))
+		}
+		if prec != quant.F32 {
+			want := sn.QY.TopN(m.X.Row(1), nil, 7)
+			for i, it := range resp.Items {
+				if it.Item != want[i].Item || it.Score != want[i].Score {
+					t.Fatalf("%v rank %d: got %+v, want %+v", prec, i, it, want[i])
+				}
+			}
+		}
+
+		var sb strings.Builder
+		if err := s.Telemetry().WriteMetrics(&sb); err != nil {
+			t.Fatal(err)
+		}
+		metrics := sb.String()
+		if !strings.Contains(metrics, `als_scorer_precision{precision="`+prec.String()+`"} 1`) {
+			t.Errorf("%v: missing precision gauge in metrics:\n%s", prec, metrics)
+		}
+		if got := strings.Contains(metrics, "als_quant_max_abs_error"); got != (prec != quant.F32) {
+			t.Errorf("%v: max-abs-error gauge present=%v", prec, got)
+		}
+		if !strings.Contains(metrics, `als_scan_seconds_count{precision="`+prec.String()+`"} 1`) {
+			t.Errorf("%v: scan histogram did not record the request:\n%s", prec, metrics)
+		}
+	}
+}
+
+// TestFoldInQuantized: fold-in keeps solving the user factor in float32
+// against the original Y, and only the final top-N scan runs quantized —
+// so the response must match scanning the quantized matrix with the
+// float32 fold-in solution.
+func TestFoldInQuantized(t *testing.T) {
+	const users, items, k = 3, 300, 4
+	rng := rand.New(rand.NewSource(37))
+	m := randomModel(rng, users, items, k)
+	f32srv, f32ts := newTestServer(t, Config{Workers: 1})
+	f32srv.Swap(m, nil, "v")
+	req := FoldInRequest{Items: []int32{5, 90, 211}, Ratings: []float32{5, 3, 4}, N: 6}
+	var f32resp FoldInResponse
+	if code := postJSON(t, f32ts.URL+"/v1/foldin", req, &f32resp); code != 200 {
+		t.Fatalf("f32 fold-in HTTP %d", code)
+	}
+
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.SetPrecision(quant.I8)
+	sn := s.Swap(m, nil, "v")
+	var resp FoldInResponse
+	if code := postJSON(t, ts.URL+"/v1/foldin", req, &resp); code != 200 {
+		t.Fatalf("i8 fold-in HTTP %d", code)
+	}
+	// Same float32 solve, then the quantized scan: reproduce it directly.
+	xu, err := m.FoldInUser(req.Items, req.Ratings, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rated := map[int]bool{5: true, 90: true, 211: true}
+	want := sn.QY.TopN(xu, func(i int) bool { return rated[i] }, 6)
+	if len(resp.Items) != len(want) {
+		t.Fatalf("%d items, want %d", len(resp.Items), len(want))
+	}
+	for i, it := range resp.Items {
+		if it.Item != want[i].Item || it.Score != want[i].Score {
+			t.Fatalf("rank %d: got %+v, want %+v", i, it, want[i])
+		}
+	}
+	// The quantized ranking should still broadly agree with float32.
+	if overlap := itemOverlap(resp.Items, f32resp.Items); overlap < 4 {
+		t.Errorf("i8 fold-in shares only %d of 6 items with f32", overlap)
+	}
+}
+
+func itemOverlap(a, b []RecItem) int {
+	in := make(map[int]bool, len(a))
+	for _, it := range a {
+		in[it.Item] = true
+	}
+	n := 0
+	for _, it := range b {
+		if in[it.Item] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCacheKeyPrecision: entries scored at different precisions must not
+// answer for each other even when every other key component matches.
+func TestCacheKeyPrecision(t *testing.T) {
+	c := NewCache(8)
+	base := cacheKey{version: "v", seq: 1, user: 2, n: 3, prec: quant.F32}
+	c.Put(base, nil)
+	quantized := base
+	quantized.prec = quant.I8
+	if _, ok := c.Get(quantized); ok {
+		t.Fatal("i8 key hit the f32 entry")
+	}
+	if _, ok := c.Get(base); !ok {
+		t.Fatal("f32 entry lost")
+	}
+}
+
+// TestSwapReusesCheckpointEncoding: a model carrying quantized factors
+// from a compressed checkpoint is installed without re-encoding when the
+// precision matches, and re-encoded when it does not.
+func TestSwapReusesCheckpointEncoding(t *testing.T) {
+	const users, items, k = 2, 64, 3
+	rng := rand.New(rand.NewSource(41))
+	m := randomModel(rng, users, items, k)
+	qy, err := quant.EncodeDense(m.Y, quant.I8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.QY = qy
+
+	var st Store
+	st.SetPrecision(quant.I8)
+	if sn := st.Swap(m, nil, "a"); sn.QY != qy {
+		t.Fatal("matching precision did not reuse the checkpoint encoding")
+	}
+	st.SetPrecision(quant.F16)
+	sn := st.Swap(m, nil, "b")
+	if sn.QY == nil || sn.QY.Prec != quant.F16 {
+		t.Fatalf("mismatched precision not re-encoded: %+v", sn.QY)
+	}
+	st.SetPrecision(quant.F32)
+	if sn := st.Swap(m, nil, "c"); sn.QY != nil || sn.Precision != quant.F32 {
+		t.Fatal("f32 swap attached a quantized matrix")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/quant"
 	"repro/internal/sparse"
 )
 
@@ -99,6 +100,79 @@ func (s *Scorer) TopN(ctx context.Context, x []float32, y *linalg.Dense, exclude
 					continue
 				}
 				t.Push(i, linalg.Dot(x, y.Row(i)))
+			}
+			heaps[si] = t
+		}
+		wg.Add(1)
+		select {
+		case s.tasks <- job:
+		case <-ctx.Done():
+			wg.Done()
+			submitErr = ctx.Err()
+		}
+		if submitErr != nil {
+			break
+		}
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := metrics.NewTopK(n)
+	for _, h := range heaps {
+		merged.Merge(h)
+	}
+	return merged.Drain(), nil
+}
+
+// TopNQuant is TopN over a quantized item-factor matrix: the same bounded
+// pool, sharding, deadline and merge semantics, but each shard runs the
+// fused dequant-dot-TopK scan kernel in checkEvery-row slabs with a
+// context check between slabs. The query is prepared (and, for int8,
+// quantized) once and shared read-only by every shard. Tie-breaking is
+// identical to the float path — both push into metrics.TopK.
+func (s *Scorer) TopNQuant(ctx context.Context, x []float32, y *quant.Matrix, excluded func(int) bool, n int) ([]metrics.Scored, error) {
+	if n <= 0 || y == nil || y.Rows == 0 {
+		return nil, nil
+	}
+	qr := y.Prepare(x)
+	shards := s.workers
+	if max := (y.Rows + minShardRows - 1) / minShardRows; shards > max {
+		shards = max
+	}
+	per := (y.Rows + shards - 1) / shards
+
+	heaps := make([]*metrics.TopK, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	var submitErr error
+	for si := 0; si < shards; si++ {
+		si := si
+		lo := si * per
+		hi := lo + per
+		if hi > y.Rows {
+			hi = y.Rows
+		}
+		job := func() {
+			defer wg.Done()
+			t := metrics.NewTopK(n)
+			for slab := lo; slab < hi; slab += checkEvery {
+				select {
+				case <-ctx.Done():
+					errs[si] = ctx.Err()
+					return
+				default:
+				}
+				end := slab + checkEvery
+				if end > hi {
+					end = hi
+				}
+				y.ScanTopK(qr, slab, end, excluded, t)
 			}
 			heaps[si] = t
 		}

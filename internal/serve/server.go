@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/quant"
 	"repro/internal/sparse"
 )
 
@@ -121,6 +122,30 @@ func (s *Server) SwapShard(m *core.Model, rated *sparse.CSR, version string, off
 // Scorer exposes the scoring pool for embedding hosts (the shard replica
 // endpoints score against the same bounded pool as /v1/recommend).
 func (s *Server) Scorer() *Scorer { return s.scorer }
+
+// SetPrecision selects the scoring precision installed by subsequent
+// swaps (alsserve -precision). The live snapshot is not re-encoded.
+func (s *Server) SetPrecision(p quant.Precision) { s.store.SetPrecision(p) }
+
+// ScoreTopN ranks the snapshot's item slice for one scoring vector at the
+// snapshot's precision: the quantized scan when the swap built a
+// compressed Y, the float32 pool otherwise. All request paths — recommend,
+// fold-in, shard replica scoring — funnel through here, so precision
+// dispatch and the per-precision scan-time histogram live in one place.
+func (s *Server) ScoreTopN(ctx context.Context, sn *Snapshot, x []float32, excluded func(int) bool, n int) ([]metrics.Scored, error) {
+	start := time.Now()
+	var scored []metrics.Scored
+	var err error
+	if sn.QY != nil {
+		scored, err = s.scorer.TopNQuant(ctx, x, sn.QY, excluded, n)
+	} else {
+		scored, err = s.scorer.TopN(ctx, x, sn.Model.Y, excluded, n)
+	}
+	if err == nil {
+		s.tel.ObserveScan(sn.Precision, time.Since(start))
+	}
+	return scored, err
+}
 
 // ResponseCache exposes the LRU response cache for embedding hosts.
 func (s *Server) ResponseCache() *Cache { return s.cache }
@@ -244,7 +269,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey{version: sn.Version, seq: sn.Seq, user: u, n: n}
+	key := cacheKey{version: sn.Version, seq: sn.Seq, user: u, n: n, prec: sn.Precision}
 	if items, ok := s.cache.Get(key); ok {
 		writeJSON(w, RecommendResponse{Version: sn.Version, Seq: sn.Seq, User: orig,
 			Items: recItems(sn.Model, items, sn.ItemOffset), Cached: true})
@@ -257,7 +282,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ex, off := excluded, sn.ItemOffset
 		excluded = func(i int) bool { return ex(i + off) }
 	}
-	scored, err := s.scorer.TopN(r.Context(), sn.Model.X.Row(u), sn.Model.Y, excluded, n)
+	scored, err := s.ScoreTopN(r.Context(), sn, sn.Model.X.Row(u), excluded, n)
 	if err != nil {
 		scoreError(w, err)
 		return
@@ -348,7 +373,9 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 	for _, it := range req.Items {
 		rated[int(it)] = true
 	}
-	scored, err := s.scorer.TopN(r.Context(), xu, sn.Model.Y,
+	// Fold-in solves xu in float32 against the original Y (above); only
+	// this final scan reads the quantized matrix.
+	scored, err := s.ScoreTopN(r.Context(), sn, xu,
 		func(i int) bool { return rated[i] }, req.N)
 	if err != nil {
 		scoreError(w, err)
@@ -406,13 +433,14 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 
 // ModelResponse answers /v1/model (load generators use it for discovery).
 type ModelResponse struct {
-	Version  string `json:"version"`
-	Seq      uint64 `json:"seq"`
-	Users    int    `json:"users"`
-	Items    int    `json:"items"`
-	K        int    `json:"k"`
-	Compact  bool   `json:"compact"` // users addressed by external IDs
-	RatedSet bool   `json:"rated_set"`
+	Version   string `json:"version"`
+	Seq       uint64 `json:"seq"`
+	Users     int    `json:"users"`
+	Items     int    `json:"items"`
+	K         int    `json:"k"`
+	Compact   bool   `json:"compact"` // users addressed by external IDs
+	RatedSet  bool   `json:"rated_set"`
+	Precision string `json:"precision"` // scoring precision: f32, f16 or i8
 	// Sharded snapshots report the full catalog size in Items and describe
 	// their local slice here; ShardItems == 0 means a full model.
 	ItemOffset int `json:"item_offset,omitempty"`
@@ -427,7 +455,8 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := ModelResponse{Version: sn.Version, Seq: sn.Seq,
 		Users: sn.Model.X.Rows, Items: sn.Model.Y.Rows, K: sn.Model.K,
-		Compact: sn.Model.UserIDs != nil, RatedSet: sn.Rated != nil}
+		Compact: sn.Model.UserIDs != nil, RatedSet: sn.Rated != nil,
+		Precision: sn.Precision.String()}
 	if sn.ItemTotal != 0 {
 		resp.Items = sn.ItemTotal
 		resp.ItemOffset = sn.ItemOffset

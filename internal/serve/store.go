@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/quant"
 	"repro/internal/sparse"
 )
 
@@ -28,6 +29,14 @@ type Snapshot struct {
 	ItemOffset int
 	ItemTotal  int
 
+	// Precision is the scoring precision this snapshot serves at; QY is
+	// the quantized item-factor matrix backing it, built once per swap
+	// (or inherited from a compressed checkpoint) and nil at F32. Fold-in
+	// solving always uses the float32 Model.Y — only the top-N scan reads
+	// QY.
+	Precision quant.Precision
+	QY        *quant.Matrix
+
 	// userIdx maps external user IDs to dense rows for compact models;
 	// built once per swap so request-path lookups are O(1) instead of the
 	// O(m) scan core.Model.UserIndex does.
@@ -47,12 +56,20 @@ func (sn *Snapshot) UserIndex(orig int64) (int, bool) {
 // never block, writers swap in O(1), and an in-flight request keeps its
 // snapshot alive until it finishes.
 type Store struct {
-	cur atomic.Pointer[Snapshot]
-	seq atomic.Uint64
+	cur  atomic.Pointer[Snapshot]
+	seq  atomic.Uint64
+	prec atomic.Uint32 // quant.Precision swaps encode Y at
 }
 
 // Current returns the live snapshot, or nil before the first Swap.
 func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// SetPrecision selects the scoring precision for subsequent swaps (it
+// does not re-encode the live snapshot; the next swap picks it up).
+func (s *Store) SetPrecision(p quant.Precision) { s.prec.Store(uint32(p)) }
+
+// Precision returns the precision subsequent swaps will serve at.
+func (s *Store) Precision() quant.Precision { return quant.Precision(s.prec.Load()) }
 
 // Swap atomically installs a new model. An empty version falls back to the
 // model's own Meta.Version, then to "v<seq>".
@@ -73,6 +90,19 @@ func (s *Store) SwapShard(m *core.Model, rated *sparse.CSR, version string, offs
 	}
 	sn := &Snapshot{Model: m, Rated: rated, Version: version, Seq: seq,
 		ItemOffset: offset, ItemTotal: total}
+	if prec := s.Precision(); prec != quant.F32 {
+		// Encode once per swap, amortized over every request the snapshot
+		// serves. A model decoded from a compressed checkpoint already
+		// carries the matching quantized matrix — reuse it verbatim. The
+		// only way encoding fails is non-finite factors, which the training
+		// guard prevents; if it happens anyway the snapshot serves float32
+		// (and reports that precision) rather than refusing the swap.
+		if m.QY != nil && m.QY.Prec == prec && m.QY.Rows == m.Y.Rows && m.QY.Cols == m.Y.Cols {
+			sn.QY, sn.Precision = m.QY, prec
+		} else if qy, err := quant.EncodeDense(m.Y, prec); err == nil {
+			sn.QY, sn.Precision = qy, prec
+		}
+	}
 	if m.UserIDs != nil {
 		sn.userIdx = make(map[int64]int, len(m.UserIDs))
 		for i, id := range m.UserIDs {

@@ -7,12 +7,20 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/quant"
 )
 
 // latencyBuckets are the request-latency histogram upper bounds in seconds,
 // spaced for sub-millisecond scoring up to multi-second stragglers.
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// scanBuckets resolve the top-N scan itself (no HTTP or queueing), which
+// sits well under the request buckets: tens of microseconds for small
+// catalogs up to ~100ms for huge ones on a loaded box.
+var scanBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1,
 }
 
 // Telemetry aggregates the serving metrics exported at /metrics in the
@@ -26,6 +34,7 @@ type Telemetry struct {
 
 	requests     *obs.Vec
 	latency      *obs.Metric
+	scan         *obs.Vec
 	inflight     *obs.Metric
 	shed         *obs.Metric
 	swaps        *obs.Metric
@@ -44,6 +53,8 @@ func NewTelemetry() *Telemetry {
 		reg:      reg,
 		requests: reg.Counter("als_requests_total", "Finished requests by endpoint and status code.", "endpoint", "code"),
 		latency:  reg.Histogram("als_request_seconds", "Request latency.", latencyBuckets).With(),
+		scan: reg.Histogram("als_scan_seconds",
+			"Top-N scan latency (scoring only, no HTTP) by snapshot precision.", scanBuckets, "precision"),
 		inflight: reg.Gauge("als_inflight_requests", "Requests currently being handled.").With(),
 		shed:     reg.Counter("als_shed_total", "Requests rejected with 429 by the admission queue.").With(),
 		swaps:    reg.Counter("als_model_swaps_total", "Model hot-swaps since start.").With(),
@@ -89,6 +100,23 @@ func (t *Telemetry) AttachServer(current func() *Snapshot, cache *Cache) {
 				}
 				return []obs.Sample{{Labels: []string{sn.Version, strconv.FormatUint(sn.Seq, 10)}, Value: 1}}
 			})
+		t.reg.Func("als_scorer_precision", "Scoring precision of the live snapshot (value is always 1).",
+			obs.Gauge, []string{"precision"}, func() []obs.Sample {
+				sn := current()
+				if sn == nil {
+					return nil
+				}
+				return []obs.Sample{{Labels: []string{sn.Precision.String()}, Value: 1}}
+			})
+		t.reg.Func("als_quant_max_abs_error",
+			"Largest absolute dequantization error of the live snapshot's item factors, measured once at encode time; absent at f32.",
+			obs.Gauge, nil, func() []obs.Sample {
+				sn := current()
+				if sn == nil || sn.QY == nil {
+					return nil
+				}
+				return []obs.Sample{{Value: sn.QY.MaxAbsErr}}
+			})
 	}
 	if cache != nil {
 		t.reg.Func("als_cache_hits_total", "Response cache hits.", obs.Counter, nil,
@@ -116,6 +144,11 @@ func (t *Telemetry) Registry() *obs.Registry { return t.reg }
 func (t *Telemetry) Observe(endpoint string, code int, d time.Duration) {
 	t.requests.With(endpoint, strconv.Itoa(code)).Inc()
 	t.latency.Observe(d.Seconds())
+}
+
+// ObserveScan records one completed top-N scan at the given precision.
+func (t *Telemetry) ObserveScan(p quant.Precision, d time.Duration) {
+	t.scan.With(p.String()).Observe(d.Seconds())
 }
 
 // IncInflight/DecInflight track requests currently inside handlers.

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/linalg"
+	"repro/internal/quant"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -75,10 +76,18 @@ type fleet struct {
 
 func newFleet(t *testing.T, m *core.Model, rated *sparse.CSR, shards int) *fleet {
 	t.Helper()
+	return newFleetPrec(t, m, rated, shards, quant.F32)
+}
+
+// newFleetPrec is newFleet with every server — replicas and the
+// full-catalog reference — scoring at the given precision.
+func newFleetPrec(t *testing.T, m *core.Model, rated *sparse.CSR, shards int, prec quant.Precision) *fleet {
+	t.Helper()
 	f := &fleet{}
 	urls := make([]string, shards)
 	for i := 0; i < shards; i++ {
 		srv := serve.New(serve.Config{})
+		srv.SetPrecision(prec)
 		rep, err := NewReplica(srv, ReplicaConfig{Index: i, Count: shards})
 		if err != nil {
 			t.Fatal(err)
@@ -101,6 +110,7 @@ func newFleet(t *testing.T, m *core.Model, rated *sparse.CSR, shards int) *fleet
 	t.Cleanup(f.frontTS.Close)
 
 	f.full = serve.New(serve.Config{})
+	f.full.SetPrecision(prec)
 	f.full.Swap(m, rated, "v1")
 	f.fullTS = httptest.NewServer(f.full.Handler())
 	t.Cleanup(func() { f.fullTS.Close(); f.full.Close() })
@@ -193,6 +203,48 @@ func TestScatterGatherMergeIdentical(t *testing.T) {
 				t.Fatalf("4xx marked shards down: %d/%d up", up, total)
 			}
 		})
+	}
+}
+
+// TestScatterGatherQuantizedMergeIdentical pins the quantized fleet to the
+// single-process quantized server: because factors are quantized per row,
+// a replica's zero-copy slice of the catalog encoding scores every item
+// bit-identically to the full server, so the merged top-N — scores and the
+// lower-index tie-break over tieModel's many exact ties — must match
+// item-for-item at every precision and fleet size.
+func TestScatterGatherQuantizedMergeIdentical(t *testing.T) {
+	const users, items, k = 5, 23, 3
+	m := tieModel(users, items, k)
+	rated := ratedSet(users, items, 2, 9, 22)
+	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
+		for _, shards := range []int{1, 2, 3} {
+			t.Run(fmt.Sprintf("%v/shards=%d", prec, shards), func(t *testing.T) {
+				f := newFleetPrec(t, m, rated, shards, prec)
+				var info InfoResponse
+				if code := getJSON(t, f.shardTS[0].URL+"/shard/v1/info", &info); code != 200 {
+					t.Fatalf("/shard/v1/info: HTTP %d", code)
+				}
+				if info.Precision != prec.String() {
+					t.Fatalf("shard info precision %q, want %q", info.Precision, prec)
+				}
+				for _, n := range []int{1, 3, 10, 40} {
+					for _, user := range []int64{500, 501, 504} {
+						var want serve.RecommendResponse
+						if code := getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", f.fullTS.URL, user, n), &want); code != 200 {
+							t.Fatalf("full server: HTTP %d", code)
+						}
+						var got RecommendResponse
+						if code := getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", f.frontTS.URL, user, n), &got); code != 200 {
+							t.Fatalf("frontend: HTTP %d", code)
+						}
+						if got.Partial || got.ShardsOK != shards {
+							t.Fatalf("healthy fleet answered partial=%v shards_ok=%d", got.Partial, got.ShardsOK)
+						}
+						sameItems(t, fmt.Sprintf("user=%d n=%d", user, n), got.Items, want.Items)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -49,5 +49,10 @@ func SliceModel(m *core.Model, i, of int) (view *core.Model, itemOffset, itemTot
 	if m.ItemIDs != nil {
 		view.ItemIDs = m.ItemIDs[lo:hi]
 	}
+	if m.QY != nil {
+		// A compressed checkpoint's quantized factors slice zero-copy too,
+		// so every replica shares one encoding of the catalog.
+		view.QY = m.QY.Slice(lo, hi)
+	}
 	return view, lo, total
 }

@@ -108,6 +108,7 @@ type InfoResponse struct {
 	Lambda         float32 `json:"lambda"`
 	WeightedLambda bool    `json:"weighted_lambda"`
 	Compact        bool    `json:"compact"`
+	Precision      string  `json:"precision"` // scoring precision of this shard's snapshot
 	Version        string  `json:"version"`
 	Seq            uint64  `json:"seq"`
 }
@@ -127,8 +128,9 @@ func (r *Replica) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		ItemOffset: off, ShardItems: sn.Model.Y.Rows, TotalItems: total,
 		Users: sn.Model.X.Rows, K: sn.Model.K,
 		Lambda: sn.Model.Meta.Lambda, WeightedLambda: sn.Model.Meta.WeightedLambda,
-		Compact: sn.Model.UserIDs != nil,
-		Version: sn.Version, Seq: sn.Seq,
+		Compact:   sn.Model.UserIDs != nil,
+		Precision: sn.Precision.String(),
+		Version:   sn.Version, Seq: sn.Seq,
 	})
 }
 
@@ -233,7 +235,10 @@ func (r *Replica) handleScore(w http.ResponseWriter, req *http.Request) {
 		}
 		excluded = func(i int) bool { return ex[i] }
 	}
-	scored, err := r.srv.Scorer().TopN(req.Context(), sr.X, sn.Model.Y, excluded, sr.N)
+	// ScoreTopN dispatches to the quantized scan when the snapshot carries
+	// a compressed Y, so a scatter-gather fleet serves the same precision
+	// as a single-process server at the same -precision flag.
+	scored, err := r.srv.ScoreTopN(req.Context(), sn, sr.X, excluded, sr.N)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return

@@ -14,6 +14,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/quant"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -122,6 +123,10 @@ type TrainerConfig struct {
 	CheckpointKeep  int
 	Resume          bool
 	CheckpointFS    checkpoint.FS
+	// CheckpointPrecision selects the factor encoding for written
+	// checkpoints (quant.F32 default). Quantized checkpoints are smaller
+	// and serve directly at that precision, but cannot seed Resume.
+	CheckpointPrecision quant.Precision
 
 	// Registry, when set, gains als_dist_broadcast_bytes_total: the bytes
 	// relayed through the coordinator (worker shards in, assembled
@@ -336,6 +341,7 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 				Iteration: it, K: k, Lambda: cfg.Lambda,
 				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
 				Variant: vname, X: x, Y: y,
+				Precision: cfg.CheckpointPrecision,
 			}
 			if _, err := checkpoint.Save(fsys, cfg.CheckpointDir, st); err != nil {
 				return nil, nil, fmt.Errorf("shard: iteration %d checkpoint: %w", it, err)
@@ -425,6 +431,10 @@ func resumeMismatch(st *checkpoint.State, cfg *TrainerConfig, vname string) erro
 			st.WeightedLambda, cfg.WeightedLambda)
 	case st.Variant != vname:
 		return fmt.Errorf("shard: checkpoint was trained with variant %q, run wants %q", st.Variant, vname)
+	case st.Precision != quant.F32:
+		// A quantized checkpoint is lossy; resuming from dequantized
+		// factors could not stay bit-identical to an uninterrupted run.
+		return fmt.Errorf("shard: checkpoint factors are quantized (%v); resume requires a float32 checkpoint", st.Precision)
 	}
 	return nil
 }
