@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture ci obs-smoke chaos-smoke dist-smoke quant-smoke experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture bench-capture-modes ci obs-smoke chaos-smoke dist-smoke quant-smoke implicit-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -24,8 +24,10 @@ test-short:
 # over -debug-addr; fails on unparseable exposition output), the chaos
 # smoke lane (a fully poisoned run must converge, expose its recovery
 # counters, and be bit-reproducible), the quantized-serving smoke lane
-# (f16/i8 serving must track the f32 ranking), and a one-shot bench smoke
-# so benchmark code cannot rot unnoticed.
+# (f16/i8 serving must track the f32 ranking), the implicit-feedback smoke
+# lane (a real implicit alstrain run through the CG and iALS++ fast paths
+# with a recall@10 floor and per-mode stage metrics), and a one-shot bench
+# smoke so benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -34,11 +36,12 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/checkpoint ./internal/core ./internal/host ./internal/serve
+	$(GO) test -race ./internal/checkpoint ./internal/core ./internal/host ./internal/serve ./internal/solvers
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) dist-smoke
 	$(MAKE) quant-smoke
+	$(MAKE) implicit-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Observability smoke: build alstrain, run one training iteration with
@@ -63,6 +66,14 @@ chaos-smoke:
 quant-smoke:
 	$(GO) test -run TestQuantSmoke -count=1 ./internal/quant
 
+# Implicit-feedback smoke: build alstrain, train the YMR4 preset in
+# implicit mode through the CG solver (-solver cg) and the iALS++ block
+# updates (-block-size), and require held-out recall@10 above the floor
+# plus a valid /metrics exposition whose stage seconds are attributed to
+# mode="implicit" (s2/s3 for CG, the fused s1+s2 for block sweeps).
+implicit-smoke:
+	$(GO) test -run TestImplicitSmoke -count=1 ./internal/solvers
+
 # Distributed smoke: through the real binaries, train a tiny preset with
 # -workers 2 and require the model byte-identical to single-process, then
 # stand up two alsserve shard replicas plus an alsfront frontend, serve a
@@ -79,6 +90,12 @@ bench:
 BENCH_OUT ?= BENCH_2.json
 bench-capture:
 	$(GO) run ./cmd/alsbench -capture $(BENCH_OUT) -capture-scale 0.01
+
+# Capture the training-mode wall-clock record (BENCH_8.json): explicit vs
+# implicit feedback x {chol,cg} solver x iALS++ block size at serving-scale
+# k, where the CG fast path's speedup over the direct solve is measured.
+bench-capture-modes:
+	$(GO) run ./cmd/alsbench -capture-modes BENCH_8.json -capture-scale 0.01 -k 64
 
 # Reproduce every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

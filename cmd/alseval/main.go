@@ -27,8 +27,12 @@ func main() {
 	oneBased := flag.Bool("one-based", true, "IDs in the rating files start at 1")
 	n := flag.Int("n", 10, "top-N size for ranking metrics")
 	relThresh := flag.Float64("relevant", 4.0, "minimum test rating counted as relevant")
+	implicit := flag.Bool("implicit", false, "evaluate an implicit-feedback model: skip RMSE/MAE (preferences, not ratings, are predicted) and count every held-out rating as relevant")
 	comparePrec := flag.Bool("compare-precisions", false, "also evaluate the f16- and i8-quantized item factors and report accuracy deltas vs float32")
 	flag.Parse()
+	if *implicit {
+		*relThresh = 0
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "alseval:", err)
@@ -54,10 +58,17 @@ func main() {
 
 	fmt.Printf("model: k=%d users=%d items=%d\n", model.K, model.X.Rows, model.Y.Rows)
 	fmt.Printf("test ratings: %d\n", test.NNZ())
-	rmse32 := model.RMSE(test.R)
-	mae32 := model.MAE(test.R)
-	fmt.Printf("RMSE: %.4f\n", rmse32)
-	fmt.Printf("MAE:  %.4f\n", mae32)
+	var rmse32, mae32 float64
+	if *implicit {
+		if *trainPath == "" {
+			fail(fmt.Errorf("-implicit needs -train: implicit models are evaluated by ranking, which excludes training items"))
+		}
+	} else {
+		rmse32 = model.RMSE(test.R)
+		mae32 = model.MAE(test.R)
+		fmt.Printf("RMSE: %.4f\n", rmse32)
+		fmt.Printf("MAE:  %.4f\n", mae32)
+	}
 
 	var train *sparse.Matrix
 	var p32, r32 float64
@@ -88,10 +99,12 @@ func main() {
 		yd := qy.Decode()
 		fmt.Printf("\n%v: %d bytes (%.2fx smaller), max |dequant err| %.3g\n",
 			prec, qy.Bytes(), float64(4*len(model.Y.Data))/float64(qy.Bytes()), qy.MaxAbsErr)
-		rmse := metrics.RMSE(test.R, model.X, yd)
-		mae := metrics.MAE(test.R, model.X, yd)
-		fmt.Printf("  RMSE: %.4f (%+.5f vs f32)\n", rmse, rmse-rmse32)
-		fmt.Printf("  MAE:  %.4f (%+.5f vs f32)\n", mae, mae-mae32)
+		if !*implicit {
+			rmse := metrics.RMSE(test.R, model.X, yd)
+			mae := metrics.MAE(test.R, model.X, yd)
+			fmt.Printf("  RMSE: %.4f (%+.5f vs f32)\n", rmse, rmse-rmse32)
+			fmt.Printf("  MAE:  %.4f (%+.5f vs f32)\n", mae, mae-mae32)
+		}
 		if trainR != nil {
 			p, r := metrics.PrecisionRecallAtN(trainR, test.R, model.X, yd, *n, float32(*relThresh))
 			fmt.Printf("  precision@%d: %.4f (%+.4f vs f32)\n", *n, p, p-p32)

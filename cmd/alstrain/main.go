@@ -24,6 +24,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/guard"
+	"repro/internal/host"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/shard"
@@ -47,6 +49,11 @@ func main() {
 	out := flag.String("out", "", "write the trained model to this file")
 	version := flag.String("version", "", "version label stored in the model's metadata (shown by alsserve)")
 	weighted := flag.Bool("weighted-lambda", false, "use the ALS-WR convention lambda*|Omega|*I")
+	implicit := flag.Bool("implicit", false, "train implicit-feedback ALS (Hu et al.): ratings become confidences 1+alpha*r over unit preferences (host platform only)")
+	alpha := flag.Float64("alpha", 40, "confidence scale for -implicit")
+	solverID := flag.String("solver", "chol", "per-row linear solver: chol (direct Cholesky), ldl, or cg (matrix-free conjugate gradient)")
+	cgIters := flag.Int("cg-iters", 3, "CG iterations per row solve (with -solver cg)")
+	blockSize := flag.Int("block-size", 0, "iALS++ block-coordinate update width (with -implicit and -solver chol; 0 = full-width direct solve)")
 	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe training checkpoints into this directory")
 	ckptEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoints")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "newest checkpoints to retain (older ones are garbage-collected)")
@@ -200,11 +207,17 @@ func main() {
 		fail(fmt.Errorf("-checkpoint-precision %s does not compose with -resume (quantized checkpoints are lossy)", ckPrec))
 	}
 
+	solver, err := host.ParseSolver(*solverID)
+	if err != nil {
+		fail(err)
+	}
 	cfg := core.Config{
 		K: *k, Lambda: float32(*lambda), Iterations: *iters, Seed: *seed,
 		Platform: *platform, AutoVariant: *auto, UseRecommended: *variantID == "",
 		WeightedLambda: *weighted,
-		CheckpointDir:  *ckptDir, CheckpointEvery: *ckptEvery,
+		Implicit:       *implicit, Alpha: float32(*alpha), Solver: solver,
+		CGIters: *cgIters, BlockSize: *blockSize,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 		CheckpointKeep: *ckptKeep, CheckpointPrecision: ckPrec,
 		Resume: *resume, Obs: rec,
 		Guard: gd,
@@ -229,6 +242,8 @@ func main() {
 			fail(fmt.Errorf("-workers does not compose with -chaos/-strict-numerics (the guard is per-process)"))
 		case *auto:
 			fail(fmt.Errorf("-workers needs a fixed variant; -auto-variant would let workers disagree"))
+		case *implicit || solver != host.SolverCholesky || *blockSize != 0:
+			fail(fmt.Errorf("-workers does not compose with -implicit/-solver/-block-size: the distributed path trains the explicit objective with the direct solver"))
 		}
 		exe, err := os.Executable()
 		if err != nil {
@@ -299,9 +314,19 @@ func main() {
 	if *version != "" {
 		model.Meta.Version = *version
 	}
-	fmt.Printf("train RMSE: %.4f\n", model.RMSE(train.R))
-	if *testFrac > 0 {
-		fmt.Printf("test  RMSE: %.4f (%.0f%% held out)\n", model.RMSE(test.R), *testFrac*100)
+	if *implicit {
+		// RMSE against raw ratings is meaningless for an implicit model (it
+		// predicts preference ≈ 1 on observed pairs); report ranking quality.
+		if *testFrac > 0 {
+			prec10, recall10 := metrics.PrecisionRecallAtN(train.R, test.R, model.X, model.Y, 10, 0)
+			fmt.Printf("test precision@10: %.4f  recall@10: %.4f (%.0f%% held out)\n",
+				prec10, recall10, *testFrac*100)
+		}
+	} else {
+		fmt.Printf("train RMSE: %.4f\n", model.RMSE(train.R))
+		if *testFrac > 0 {
+			fmt.Printf("test  RMSE: %.4f (%.0f%% held out)\n", model.RMSE(test.R), *testFrac*100)
+		}
 	}
 
 	if *out != "" {

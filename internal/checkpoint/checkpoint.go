@@ -38,13 +38,19 @@ const Magic = uint32(0x414C534B)
 // FormatVersion is bumped on any incompatible layout change; Load rejects
 // versions it does not know but keeps decoding every version it ever
 // wrote. Version 2 added the precision byte and quantized factor
-// sections; version 1 files (always float32) still load. Golden-file
-// tests pin both versions byte for byte.
-const FormatVersion = uint32(2)
+// sections; version 3 added the training-mode block (implicit flag, α,
+// solver, CG iterations, iALS++ block size). Version 1 and 2 files still
+// load, decoding as explicit-mode Cholesky runs. Golden-file tests pin
+// every version byte for byte.
+const FormatVersion = uint32(3)
 
 // formatV1 is the pre-quantization layout: no precision byte, factors
-// always raw float32.
-const formatV1 = uint32(1)
+// always raw float32. formatV2 added the precision byte but predates the
+// training-mode block.
+const (
+	formatV1 = uint32(1)
+	formatV2 = uint32(2)
+)
 
 const (
 	maxVariantLen = 256
@@ -94,6 +100,18 @@ type State struct {
 	// matrix without re-encoding. Nil on float32 checkpoints.
 	QX, QY *quant.Matrix
 
+	// Training-mode block (format v3): implicit-feedback flag with its
+	// confidence scale α, the per-row solver, and the solver hyperparameters
+	// that change the trajectory (CG iteration budget, iALS++ block size).
+	// All are part of the strict resume-match contract — a run resumed under
+	// a different mode or solver would not reproduce the checkpointed one.
+	// v1/v2 files decode with the zero values: explicit, Cholesky.
+	Implicit  bool
+	Alpha     float32
+	Solver    host.Solver
+	CGIters   int
+	BlockSize int
+
 	History []host.IterStats // per-half-iteration loss when tracked
 }
 
@@ -136,6 +154,18 @@ func (st *State) validate() error {
 	if !st.Precision.Valid() {
 		return fmt.Errorf("checkpoint: unknown precision %v", st.Precision)
 	}
+	if st.Solver > host.SolverCG {
+		return fmt.Errorf("checkpoint: unknown solver %d", st.Solver)
+	}
+	if math.IsNaN(float64(st.Alpha)) || math.IsInf(float64(st.Alpha), 0) || st.Alpha < 0 {
+		return fmt.Errorf("checkpoint: invalid alpha %v", st.Alpha)
+	}
+	if st.CGIters < 0 || st.CGIters > math.MaxUint16 {
+		return fmt.Errorf("checkpoint: CG iterations %d out of range", st.CGIters)
+	}
+	if st.BlockSize < 0 || st.BlockSize > math.MaxUint16 {
+		return fmt.Errorf("checkpoint: block size %d out of range", st.BlockSize)
+	}
 	return nil
 }
 
@@ -147,10 +177,11 @@ func (st *State) EncodedSize() int64 {
 	const (
 		header    = 7 * 8             // magic..seed, uint64 each
 		fixed     = 4 + 1 + 1 + 2 + 4 // lambda + weighted + precision + variant len + history len
+		modeBlock = 1 + 4 + 1 + 2 + 2 // v3: implicit + alpha + solver + cg iters + block size
 		histEntry = 4 + 1 + 8 + 8     // iteration, half, loss, elapsed
 		trailer   = 4                 // CRC-32C
 	)
-	n := int64(header + fixed + trailer)
+	n := int64(header + fixed + modeBlock + trailer)
 	n += int64(len(st.Variant))
 	n += int64(len(st.History)) * histEntry
 	if st.X != nil {
@@ -230,6 +261,26 @@ func Encode(w io.Writer, st *State) error {
 		return err
 	}
 	if err := binary.Write(cw, binary.LittleEndian, uint8(st.Precision)); err != nil {
+		return err
+	}
+	// Format v3 training-mode block.
+	var implicit uint8
+	if st.Implicit {
+		implicit = 1
+	}
+	if err := binary.Write(cw, binary.LittleEndian, implicit); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, st.Alpha); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint8(st.Solver)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint16(st.CGIters)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint16(st.BlockSize)); err != nil {
 		return err
 	}
 	if err := binary.Write(cw, binary.LittleEndian, uint16(len(st.Variant))); err != nil {
@@ -367,8 +418,8 @@ func Decode(r io.Reader) (*State, error) {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", hdr[0])
 	}
 	version := uint32(hdr[1])
-	if version != formatV1 && version != FormatVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d or %d)",
+	if version < formatV1 || version > FormatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d..%d)",
 			version, formatV1, FormatVersion)
 	}
 	k, m, n := int64(hdr[2]), int64(hdr[3]), int64(hdr[4])
@@ -397,7 +448,7 @@ func Decode(r io.Reader) (*State, error) {
 		return nil, fmt.Errorf("checkpoint: invalid lambda convention %d", weighted)
 	}
 	st.WeightedLambda = weighted == 1
-	if version >= 2 {
+	if version >= formatV2 {
 		var prec uint8
 		if err := binary.Read(cr, binary.LittleEndian, &prec); err != nil {
 			return nil, fmt.Errorf("checkpoint: reading precision: %w", err)
@@ -406,6 +457,38 @@ func Decode(r io.Reader) (*State, error) {
 		if !st.Precision.Valid() {
 			return nil, fmt.Errorf("checkpoint: invalid precision %d", prec)
 		}
+	}
+	if version >= FormatVersion {
+		var implicit, solver uint8
+		var cgIters, blockSize uint16
+		if err := binary.Read(cr, binary.LittleEndian, &implicit); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading mode: %w", err)
+		}
+		if implicit > 1 {
+			return nil, fmt.Errorf("checkpoint: invalid mode %d", implicit)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &st.Alpha); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading alpha: %w", err)
+		}
+		if math.IsNaN(float64(st.Alpha)) || math.IsInf(float64(st.Alpha), 0) || st.Alpha < 0 {
+			return nil, fmt.Errorf("checkpoint: invalid alpha %v", st.Alpha)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &solver); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading solver: %w", err)
+		}
+		if host.Solver(solver) > host.SolverCG {
+			return nil, fmt.Errorf("checkpoint: unknown solver %d", solver)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &cgIters); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading CG iterations: %w", err)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &blockSize); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading block size: %w", err)
+		}
+		st.Implicit = implicit == 1
+		st.Solver = host.Solver(solver)
+		st.CGIters = int(cgIters)
+		st.BlockSize = int(blockSize)
 	}
 	var vlen uint16
 	if err := binary.Read(cr, binary.LittleEndian, &vlen); err != nil {

@@ -41,7 +41,10 @@ func statesEqual(t *testing.T, want, got *State) {
 	if got.Iteration != want.Iteration || got.K != want.K ||
 		got.Lambda != want.Lambda || got.WeightedLambda != want.WeightedLambda ||
 		got.Seed != want.Seed || got.Variant != want.Variant ||
-		got.Precision != want.Precision {
+		got.Precision != want.Precision ||
+		got.Implicit != want.Implicit || got.Alpha != want.Alpha ||
+		got.Solver != want.Solver || got.CGIters != want.CGIters ||
+		got.BlockSize != want.BlockSize {
 		t.Fatalf("scalar state mismatch:\nwant %+v\ngot  %+v", want, got)
 	}
 	if d := linalg.MaxAbsDiff(want.X, got.X); d != 0 {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/host"
 	"repro/internal/quant"
 )
 
@@ -41,6 +42,27 @@ func FuzzLoadCheckpoint(f *testing.F) {
 		qflip := append([]byte(nil), qvalid...)
 		qflip[len(qflip)/2] ^= 0x10
 		f.Add(qflip)
+	}
+	// The v3 training-mode block: a valid implicit iALS++/CG state, a
+	// truncation inside the mode block (header is 7*8 + lambda 4 + weighted
+	// 1 + precision 1 = 62 bytes; the block spans 62..72), and bit flips on
+	// the mode and solver bytes (which must decode or reject, never panic).
+	ist := testState(9, 2.5)
+	ist.Implicit = true
+	ist.Alpha = 40
+	ist.Solver = host.SolverCG
+	ist.CGIters = 5
+	var ibuf bytes.Buffer
+	if err := Encode(&ibuf, ist); err != nil {
+		f.Fatal(err)
+	}
+	ivalid := ibuf.Bytes()
+	f.Add(ivalid)
+	f.Add(ivalid[:66]) // truncated mid mode block
+	for _, off := range []int{62, 67} {
+		iflip := append([]byte(nil), ivalid...)
+		iflip[off] ^= 0x03
+		f.Add(iflip)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := Decode(bytes.NewReader(data))

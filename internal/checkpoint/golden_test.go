@@ -17,7 +17,7 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden checkpoint files")
 
 // goldenState is a fixed small model: every byte of its encoding is
-// pinned by testdata/golden_v2*.alsck. Changing the encoder in any way —
+// pinned by testdata/golden_v3*.alsck. Changing the encoder in any way —
 // field order, widths, endianness, CRC — breaks this test instead of
 // silently breaking users' old checkpoints. A deliberate format change
 // must bump FormatVersion, regenerate with -update-golden, and keep (or
@@ -73,8 +73,19 @@ func checkGolden(t *testing.T, name string, st *State) []byte {
 	return want
 }
 
+// goldenImplicitState exercises the v3 training-mode block: an implicit
+// iALS++ run with a non-default solver hyperparameter set.
+func goldenImplicitState() *State {
+	st := goldenState()
+	st.Implicit = true
+	st.Alpha = 40
+	st.Solver = host.SolverCG
+	st.CGIters = 3
+	return st
+}
+
 func TestGoldenCheckpointFormat(t *testing.T) {
-	want := checkGolden(t, "golden_v2.alsck", goldenState())
+	want := checkGolden(t, "golden_v3.alsck", goldenState())
 	// The golden bytes must also decode back to the golden state.
 	st, err := Decode(bytes.NewReader(want))
 	if err != nil {
@@ -83,14 +94,29 @@ func TestGoldenCheckpointFormat(t *testing.T) {
 	statesEqual(t, goldenState(), st)
 }
 
-// TestGoldenQuantizedFormats pins the v2 quantized factor sections byte
-// for byte and checks the decoded factors sit within the recorded
+// TestGoldenImplicitFormat pins the v3 training-mode block byte for byte:
+// the implicit flag, confidence α, solver selection and CG budget must
+// round-trip through the golden file exactly.
+func TestGoldenImplicitFormat(t *testing.T) {
+	want := checkGolden(t, "golden_v3_implicit.alsck", goldenImplicitState())
+	st, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, goldenImplicitState(), st)
+	if !st.Implicit || st.Alpha != 40 || st.Solver != host.SolverCG || st.CGIters != 3 || st.BlockSize != 0 {
+		t.Fatalf("mode block decoded wrong: %+v", st)
+	}
+}
+
+// TestGoldenQuantizedFormats pins the quantized factor sections byte for
+// byte and checks the decoded factors sit within the recorded
 // quantization error of the originals.
 func TestGoldenQuantizedFormats(t *testing.T) {
 	for _, prec := range []quant.Precision{quant.F16, quant.I8} {
 		orig := goldenState()
 		orig.Precision = prec
-		want := checkGolden(t, fmt.Sprintf("golden_v2_%s.alsck", prec), orig)
+		want := checkGolden(t, fmt.Sprintf("golden_v3_%s.alsck", prec), orig)
 		st, err := Decode(bytes.NewReader(want))
 		if err != nil {
 			t.Fatal(err)
@@ -110,7 +136,8 @@ func TestGoldenQuantizedFormats(t *testing.T) {
 
 // TestGoldenV1StillLoads is the backward-compatibility gate: the pinned
 // format-v1 file (written before the precision byte existed) must keep
-// decoding to the exact same state, reported as float32 precision.
+// decoding to the exact same state, reported as float32 precision and
+// explicit-mode Cholesky defaults.
 func TestGoldenV1StillLoads(t *testing.T) {
 	want, err := os.ReadFile(filepath.Join("testdata", "golden_v1.alsck"))
 	if err != nil {
@@ -124,4 +151,36 @@ func TestGoldenV1StillLoads(t *testing.T) {
 		t.Fatalf("v1 decoded as precision %v (QX %v, QY %v), want plain f32", st.Precision, st.QX, st.QY)
 	}
 	statesEqual(t, goldenState(), st)
+}
+
+// TestGoldenV2StillLoads: pinned format-v2 files (precision byte, no
+// training-mode block) must keep decoding — including the quantized
+// variants — with the mode fields defaulting to explicit Cholesky.
+func TestGoldenV2StillLoads(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		prec quant.Precision
+	}{
+		{"golden_v2.alsck", quant.F32},
+		{"golden_v2_f16.alsck", quant.F16},
+		{"golden_v2_i8.alsck", quant.I8},
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Decode(bytes.NewReader(want))
+		if err != nil {
+			t.Fatalf("format v2 (%s) no longer decodes: %v", tc.file, err)
+		}
+		if st.Precision != tc.prec {
+			t.Fatalf("%s decoded as precision %v, want %v", tc.file, st.Precision, tc.prec)
+		}
+		if st.Implicit || st.Alpha != 0 || st.Solver != host.SolverCholesky || st.CGIters != 0 || st.BlockSize != 0 {
+			t.Fatalf("%s: v2 file decoded with non-default mode block: %+v", tc.file, st)
+		}
+		if tc.prec == quant.F32 {
+			statesEqual(t, goldenState(), st)
+		}
+	}
 }

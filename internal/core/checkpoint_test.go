@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/dataset"
+	"repro/internal/host"
 	"repro/internal/linalg"
 	"repro/internal/sparse"
 	"repro/internal/variant"
@@ -136,6 +137,107 @@ func TestResumeRejectsMismatchedConfig(t *testing.T) {
 		mutate(&cfg)
 		if _, _, err := Train(mx, cfg); err == nil {
 			t.Errorf("resume with mismatched %s accepted", name)
+		}
+	}
+}
+
+// TestImplicitResumeEquivalence extends the crash-safety contract to the
+// implicit fast path: for each solver configuration (direct Cholesky, CG,
+// iALS++ blocks), stop-and-resume must reproduce the uninterrupted run
+// bit-identically. CG qualifies because its warm start reads the current
+// factor row, which the checkpoint restores exactly.
+func TestImplicitResumeEquivalence(t *testing.T) {
+	mx := ckptMatrix(t)
+	const n = 3
+	for name, cfg := range map[string]Config{
+		"direct": {K: 6, Lambda: 0.1, Iterations: n, Seed: 7, Implicit: true, Alpha: 40},
+		"cg":     {K: 6, Lambda: 0.1, Iterations: n, Seed: 7, Implicit: true, Alpha: 40, Solver: host.SolverCG, CGIters: 4},
+		"block":  {K: 6, Lambda: 0.1, Iterations: n, Seed: 7, Implicit: true, Alpha: 40, BlockSize: 3},
+	} {
+		straight, _, err := Train(mx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fsys := checkpoint.NewMemFS()
+		partial := cfg
+		partial.Iterations = 1
+		partial.CheckpointDir = "ckpts"
+		partial.CheckpointFS = fsys
+		if _, _, err := Train(mx, partial); err != nil {
+			t.Fatalf("%s partial: %v", name, err)
+		}
+		resumedCfg := cfg
+		resumedCfg.CheckpointDir = "ckpts"
+		resumedCfg.CheckpointFS = fsys
+		resumedCfg.Resume = true
+		resumed, info, err := Train(mx, resumedCfg)
+		if err != nil {
+			t.Fatalf("%s resume: %v", name, err)
+		}
+		if info.ResumedFrom != 1 {
+			t.Fatalf("%s: ResumedFrom = %d, want 1", name, info.ResumedFrom)
+		}
+		if d := linalg.MaxAbsDiff(straight.X, resumed.X); d != 0 {
+			t.Errorf("%s: X differs by %g from uninterrupted implicit run", name, d)
+		}
+		if d := linalg.MaxAbsDiff(straight.Y, resumed.Y); d != 0 {
+			t.Errorf("%s: Y differs by %g from uninterrupted implicit run", name, d)
+		}
+	}
+}
+
+// TestResumeRejectsModeBoundary: a checkpoint from one training mode must
+// not silently continue under another — the objective, solver arithmetic
+// and hyperparameters all differ, so the result would be neither run.
+func TestResumeRejectsModeBoundary(t *testing.T) {
+	mx := ckptMatrix(t)
+	explicitFS := checkpoint.NewMemFS()
+	base := Config{K: 4, Lambda: 0.1, Iterations: 1, Seed: 5,
+		CheckpointDir: "ckpts", CheckpointFS: explicitFS}
+	if _, _, err := Train(mx, base); err != nil {
+		t.Fatal(err)
+	}
+	implicitFS := checkpoint.NewMemFS()
+	ibase := base
+	ibase.CheckpointFS = implicitFS
+	ibase.Implicit = true
+	ibase.Alpha = 40
+	if _, _, err := Train(mx, ibase); err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		cfg  Config
+		fsys checkpoint.FS
+		want string
+	}{
+		"explicit->implicit": {ibase, explicitFS, "explicit-feedback"},
+		"implicit->explicit": {base, implicitFS, "implicit-feedback"},
+		"alpha": {func() Config { c := ibase; c.Alpha = 20; return c }(),
+			implicitFS, "alpha"},
+		"solver": {func() Config { c := ibase; c.Solver = host.SolverCG; c.CGIters = 3; return c }(),
+			implicitFS, "solver"},
+		"cg-iters": {func() Config { c := ibase; c.Solver = host.SolverCG; return c }(),
+			func() checkpoint.FS {
+				fs := checkpoint.NewMemFS()
+				c := ibase
+				c.CheckpointFS = fs
+				c.Solver = host.SolverCG
+				c.CGIters = 3
+				if _, _, err := Train(mx, c); err != nil {
+					t.Fatal(err)
+				}
+				return fs
+			}(), "cg-iters"},
+		"block-size": {func() Config { c := ibase; c.BlockSize = 2; return c }(),
+			implicitFS, "block-size"},
+	} {
+		cfg := tc.cfg
+		cfg.Iterations = 2
+		cfg.CheckpointFS = tc.fsys
+		cfg.Resume = true
+		_, _, err := Train(mx, cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: resume across mode boundary = %v, want error mentioning %q", name, err, tc.want)
 		}
 	}
 }

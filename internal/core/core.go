@@ -77,6 +77,24 @@ type Config struct {
 	GroupSize int
 	Groups    int
 
+	// Implicit switches to implicit-feedback ALS (Hu et al. 2008, host
+	// platform only): stored ratings become confidences c = 1 + Alpha·r
+	// over unit preferences, and every row solve runs against a shared
+	// FᵀF Gram with confidence-weighted rank-1 corrections. Incompatible
+	// with WeightedLambda (implicit regularization is plain λI).
+	Implicit bool
+	// Alpha is the implicit-mode confidence scale (default 40).
+	Alpha float32
+	// Solver selects the per-row linear solver: host.SolverCholesky
+	// (default), host.SolverLDL, or host.SolverCG (matrix-free conjugate
+	// gradient, capped at CGIters iterations per row, default 3).
+	Solver  host.Solver
+	CGIters int
+	// BlockSize enables iALS++ block-coordinate updates: each row solve
+	// sweeps ⌈k/b⌉ blocks of b factors instead of one k×k direct solve.
+	// Implicit mode with the Cholesky solver only; 0 disables.
+	BlockSize int
+
 	// WeightedLambda switches to the ALS-WR convention λ|Ω|I.
 	WeightedLambda bool
 	// TrackLoss records Eq. 2 after every half-iteration (host only).
@@ -100,9 +118,10 @@ type Config struct {
 	// (default 3).
 	CheckpointKeep int
 	// Resume restarts from the newest valid checkpoint in CheckpointDir,
-	// verifying that k, λ, seed, λ convention and variant match the
-	// checkpointed run; a resumed run produces factors bit-identical to
-	// an uninterrupted one. With no checkpoint present training starts
+	// verifying that k, λ, seed, λ convention, variant and the full
+	// training mode (implicit flag, α, solver, CG budget, block size)
+	// match the checkpointed run; a resumed run produces factors
+	// bit-identical to an uninterrupted one. With no checkpoint present training starts
 	// fresh, so crash-rerun loops can pass Resume unconditionally.
 	Resume bool
 	// CheckpointFS overrides the filesystem checkpoints go through
@@ -284,6 +303,13 @@ func Train(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 	if cfg.Guard != nil && cfg.Platform != PlatformHost {
 		return nil, nil, fmt.Errorf("core: the numerical guard is supported on the host platform only (got %q)", cfg.Platform)
 	}
+	// The simulated devices model the explicit fused/register kernels only;
+	// implicit mode and the alternative solvers are host fast paths. (The
+	// kernels cost model can still *estimate* implicit-mode stage costs —
+	// see kernels.EstimateMode — it just cannot train with them.)
+	if cfg.Platform != PlatformHost && (cfg.Implicit || cfg.Solver != host.SolverCholesky || cfg.BlockSize != 0) {
+		return nil, nil, fmt.Errorf("core: implicit mode and solver selection are supported on the host platform only (got %q)", cfg.Platform)
+	}
 
 	if cfg.Platform == PlatformHost {
 		return trainHost(mx, cfg)
@@ -321,6 +347,8 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 		Workers: cfg.Workers, Flat: cfg.Baseline, Variant: v,
 		WeightedLambda: cfg.WeightedLambda, TrackLoss: cfg.TrackLoss,
 		Tolerance: cfg.Tolerance, Obs: cfg.Obs, Guard: g,
+		Implicit: cfg.Implicit, Alpha: cfg.Alpha, Solver: cfg.Solver,
+		CGIters: cfg.CGIters, BlockSize: cfg.BlockSize,
 	}
 	var preHistory []host.IterStats
 	resumedFrom := 0
@@ -372,7 +400,9 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
 				Variant: variantName(cfg.Baseline, v), X: x, Y: y,
 				Precision: cfg.CheckpointPrecision,
-				History:   concatHistory(preHistory, hist),
+				Implicit:  cfg.Implicit, Alpha: cfg.Alpha, Solver: cfg.Solver,
+				CGIters: cfg.CGIters, BlockSize: cfg.BlockSize,
+				History: concatHistory(preHistory, hist),
 			}
 			saveStart := time.Now()
 			_, err := checkpoint.Save(fsys, cfg.CheckpointDir, st)
@@ -502,6 +532,19 @@ func resumeMismatch(st *checkpoint.State, cfg *Config, variantID string) error {
 			st.WeightedLambda, cfg.WeightedLambda)
 	case st.Variant != variantID:
 		return fmt.Errorf("core: checkpoint was trained with variant %q, run wants %q", st.Variant, variantID)
+	case st.Implicit != cfg.Implicit:
+		// Resuming across the explicit/implicit boundary would continue a
+		// run under a different objective entirely.
+		return fmt.Errorf("core: checkpoint is from an %s-feedback run, run wants %s feedback",
+			modeName(st.Implicit), modeName(cfg.Implicit))
+	case st.Alpha != cfg.Alpha:
+		return fmt.Errorf("core: checkpoint has alpha=%g, run wants %g", st.Alpha, cfg.Alpha)
+	case st.Solver != cfg.Solver:
+		return fmt.Errorf("core: checkpoint was trained with solver %q, run wants %q", st.Solver, cfg.Solver)
+	case st.CGIters != cfg.CGIters:
+		return fmt.Errorf("core: checkpoint has cg-iters=%d, run wants %d", st.CGIters, cfg.CGIters)
+	case st.BlockSize != cfg.BlockSize:
+		return fmt.Errorf("core: checkpoint has block-size=%d, run wants %d", st.BlockSize, cfg.BlockSize)
 	case st.Precision != quant.F32:
 		// Quantization is lossy: resuming from dequantized factors would
 		// produce a run that claims bit-identity with the original but
@@ -520,6 +563,13 @@ func concatHistory(pre, cur []host.IterStats) []host.IterStats {
 	out := make([]host.IterStats, 0, len(pre)+len(cur))
 	out = append(out, pre...)
 	return append(out, cur...)
+}
+
+func modeName(implicit bool) string {
+	if implicit {
+		return "implicit"
+	}
+	return "explicit"
 }
 
 func variantName(baseline bool, v variant.Options) string {

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/host"
+)
+
+// The training-mode bench capture (BENCH_8.json): wall-clock of the host
+// solver across the mode dimension — explicit vs implicit feedback, the
+// direct Cholesky vs conjugate-gradient row solvers, and the iALS++ block
+// sizes — on the MVLE preset treated as implicit feedback. The headline
+// numbers the capture is accountable to: CG beats the direct solve at
+// serving-scale k (the k³/6 factorization vs a 3·(k²+2ωk) iteration loop),
+// and the iALS++ update cost scales with block size b, meeting the direct
+// solve at b=k.
+
+// ModeEntry is one (mode, solver, block) measurement.
+type ModeEntry struct {
+	Mode          string  `json:"mode"` // explicit | implicit
+	Solver        string  `json:"solver"`
+	BlockSize     int     `json:"block_size,omitempty"`
+	SecondsPerRun float64 `json:"seconds_per_run"`
+	// SpeedupVsModeChol is the direct-Cholesky run of the same mode divided
+	// by this entry (>1 = faster than the direct solve).
+	SpeedupVsModeChol float64 `json:"speedup_vs_mode_chol"`
+}
+
+// ModeBenchCapture is the full record of one mode-dimension capture.
+type ModeBenchCapture struct {
+	Preset     string  `json:"preset"`
+	Scale      float64 `json:"scale"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NNZ        int     `json:"nnz"`
+	K          int     `json:"k"`
+	Alpha      float64 `json:"alpha"`
+	CGIters    int     `json:"cg_iters"`
+	Iterations int     `json:"iterations"`
+	Workers    int     `json:"workers"`
+	GoVersion  string  `json:"go_version"`
+	GoArch     string  `json:"goarch"`
+
+	Entries []ModeEntry `json:"entries"`
+
+	// ImplicitCGSpeedup = implicit chol seconds / implicit cg seconds: the
+	// number the CG fast path is accountable to (target ≥ 1.2 at k=64).
+	ImplicitCGSpeedup float64 `json:"implicit_cg_speedup"`
+	// BlockSeconds maps each measured iALS++ block size to its seconds per
+	// run, pinning the update-cost scaling in b.
+	BlockSeconds map[string]float64 `json:"block_seconds"`
+}
+
+// CaptureModeBench measures the mode dimension on the MVLE preset at the
+// given bench scale. k comes from the settings (the tracked BENCH_8.json
+// runs k=64, where the direct solve's cubic term dominates).
+func CaptureModeBench(s Settings, scale float64) (*ModeBenchCapture, error) {
+	if scale <= 0 {
+		scale = 0.01
+	}
+	ds := dataset.Movielens.ScaledForBench(scale).Generate(s.Seed)
+	mx := ds.Matrix
+	if mx.NNZ() == 0 {
+		return nil, fmt.Errorf("modecapture: empty dataset at scale %g", scale)
+	}
+	const (
+		alpha   = float32(40)
+		cgIters = 3
+	)
+	cap := &ModeBenchCapture{
+		Preset: dataset.Movielens.Name, Scale: scale,
+		Rows: mx.Rows(), Cols: mx.Cols(), NNZ: mx.NNZ(),
+		K: s.K, Alpha: float64(alpha), CGIters: cgIters,
+		Iterations:   s.Iterations,
+		Workers:      runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		GoArch:       runtime.GOARCH,
+		BlockSeconds: map[string]float64{},
+	}
+
+	measure := func(cfg host.Config) (float64, error) {
+		// Same shape as CaptureHostBench: one warm-up, then measured runs
+		// until at least a second has elapsed.
+		const benchMinTime = time.Second
+		if _, err := host.Train(mx, cfg); err != nil {
+			return 0, fmt.Errorf("modecapture: %w", err)
+		}
+		var (
+			runs    int
+			elapsed time.Duration
+		)
+		for elapsed < benchMinTime {
+			start := time.Now()
+			if _, err := host.Train(mx, cfg); err != nil {
+				return 0, fmt.Errorf("modecapture: %w", err)
+			}
+			elapsed += time.Since(start)
+			runs++
+		}
+		return elapsed.Seconds() / float64(runs), nil
+	}
+
+	base := host.Config{K: s.K, Lambda: s.Lambda, Iterations: s.Iterations, Seed: s.Seed}
+	type point struct {
+		mode   string
+		solver host.Solver
+		block  int
+	}
+	points := []point{
+		{"explicit", host.SolverCholesky, 0},
+		{"explicit", host.SolverCG, 0},
+		{"implicit", host.SolverCholesky, 0},
+		{"implicit", host.SolverCG, 0},
+	}
+	for _, b := range []int{8, 16, 32, s.K} {
+		if b < s.K {
+			points = append(points, point{"implicit", host.SolverCholesky, b})
+		} else {
+			points = append(points, point{"implicit", host.SolverCholesky, s.K})
+			break
+		}
+	}
+	cholSeconds := map[string]float64{}
+	for _, p := range points {
+		cfg := base
+		cfg.Solver = p.solver
+		cfg.CGIters = cgIters
+		if p.mode == "implicit" {
+			cfg.Implicit = true
+			cfg.Alpha = alpha
+			cfg.BlockSize = p.block
+		}
+		sec, err := measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e := ModeEntry{Mode: p.mode, Solver: p.solver.String(), BlockSize: p.block, SecondsPerRun: sec}
+		if p.solver == host.SolverCholesky && p.block == 0 {
+			cholSeconds[p.mode] = sec
+		}
+		cap.Entries = append(cap.Entries, e)
+		if p.block > 0 {
+			cap.BlockSeconds[fmt.Sprintf("b=%d", p.block)] = sec
+		}
+	}
+	for i := range cap.Entries {
+		if chol := cholSeconds[cap.Entries[i].Mode]; chol > 0 {
+			cap.Entries[i].SpeedupVsModeChol = chol / cap.Entries[i].SecondsPerRun
+		}
+	}
+	for _, e := range cap.Entries {
+		if e.Mode == "implicit" && e.Solver == "cg" {
+			cap.ImplicitCGSpeedup = cholSeconds["implicit"] / e.SecondsPerRun
+		}
+	}
+	return cap, nil
+}
+
+// WriteJSON renders the capture as indented JSON.
+func (c *ModeBenchCapture) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Fprint prints a human-readable summary.
+func (c *ModeBenchCapture) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== training-mode bench capture: %s scale=%g (m=%d n=%d nnz=%d, k=%d, %d iters, %d workers) ==\n",
+		c.Preset, c.Scale, c.Rows, c.Cols, c.NNZ, c.K, c.Iterations, c.Workers)
+	for _, e := range c.Entries {
+		label := e.Mode + "/" + e.Solver
+		if e.BlockSize > 0 {
+			label = fmt.Sprintf("%s b=%d", label, e.BlockSize)
+		}
+		fmt.Fprintf(w, "  %-24s %10.4fs  %6.2fx vs %s/chol\n",
+			label, e.SecondsPerRun, e.SpeedupVsModeChol, e.Mode)
+	}
+	fmt.Fprintf(w, "  implicit cg vs direct: %.2fx\n\n", c.ImplicitCGSpeedup)
+}

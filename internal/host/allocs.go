@@ -21,14 +21,23 @@ func RowUpdateAllocs(mx *sparse.Matrix, cfg Config) float64 {
 	y := InitialY(mx.Cols(), cfg.K, cfg.Seed)
 	x := linalg.NewDense(m, cfg.K)
 	ws := newWorkerState(cfg.K)
+	var ig *linalg.SharedGram
+	if cfg.Implicit {
+		ig = linalg.NewSharedGram(cfg.K)
+		ig.Compute(y)
+	}
 	for u := 0; u < m; u++ {
-		if err := updateRow(mx.R, y, x, u, 1, true, cfg, ws); err != nil {
+		if err := updateRow(mx.R, y, x, u, 1, true, cfg, ws, ig); err != nil {
 			return -1
 		}
 	}
+	// CG and block rows grow the per-nonzero dots scratch on first contact
+	// with the row's degree; one more warming pass isn't needed because the
+	// loop above already visited every row, but the LPT-free natural order
+	// means the widest row has been seen and the scratch is at capacity.
 	u := 0
 	return allocsPerRun(200, func() {
-		_ = updateRow(mx.R, y, x, u, 1, true, cfg, ws)
+		_ = updateRow(mx.R, y, x, u, 1, true, cfg, ws, ig)
 		u++
 		if u == m {
 			u = 0

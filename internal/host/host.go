@@ -63,6 +63,37 @@ type Config struct {
 	// instead of the paper's plain λI.
 	WeightedLambda bool
 
+	// Implicit switches training to implicit-feedback ALS (Hu et al.):
+	// ratings become confidences c_ui = 1 + Alpha·r_ui over unit
+	// preferences, each half iteration precomputes the shared FᵀF Gram
+	// sequentially in float64, and the row kernels apply confidence-weighted
+	// rank-1 corrections on top of it. The direct-solver path is
+	// bit-identical to the reference solver in internal/solvers (the
+	// equivalence suite pins it). Incompatible with WeightedLambda. The
+	// Fused and Register variant toggles are no-ops in this mode — the
+	// confidence kernels are inherently fused into packed register-strip
+	// form; Local staging, Vector unrolling and Flat scheduling still apply.
+	Implicit bool
+	// Alpha is the implicit-mode confidence scale (default 40).
+	Alpha float32
+	// Solver selects the per-row S3: direct Cholesky (default), direct
+	// LDLᵀ, or matrix-free conjugate gradient (CG never assembles the k×k
+	// normal matrix — each iteration applies it as k² + |Ω|·k work, so a
+	// few warm-started iterations beat the |Ω|·k² assembly at large k). CG
+	// results differ from the direct solve within a small tolerance; on
+	// breakdown (degenerate system) the row falls back to the assembled
+	// system and the guard recovery ladder.
+	Solver Solver
+	// CGIters bounds the CG iterations per row solve (default 3, following
+	// the rusket exemplar's cg_iters).
+	CGIters int
+	// BlockSize enables iALS++ (arXiv 2110.14044) block-coordinate
+	// subspace updates in implicit mode: each row update performs one
+	// Gauss-Seidel sweep over ⌈k/b⌉ coordinate blocks, solving only b×b
+	// systems, so per-row cost scales as k² + |Ω|·k·b instead of |Ω|·k².
+	// 0 = full direct solve. Requires Implicit and the Cholesky solver.
+	BlockSize int
+
 	// TrackLoss records the regularized loss (Eq. 2) after every half-step;
 	// costs an extra pass over the ratings, so benchmarks leave it off.
 	TrackLoss bool
@@ -148,6 +179,36 @@ func (c *Config) setDefaults(m, nnz int) {
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = defaultChunk(m, nnz, c.Workers)
 	}
+	if c.Alpha <= 0 {
+		c.Alpha = 40
+	}
+	if c.CGIters <= 0 {
+		c.CGIters = 3
+	}
+	if c.BlockSize > c.K {
+		c.BlockSize = c.K
+	}
+}
+
+// validateMode rejects inconsistent training-mode combinations up front,
+// before any workers spawn.
+func (c *Config) validateMode() error {
+	if c.Solver > SolverCG {
+		return fmt.Errorf("host: unknown solver %d", c.Solver)
+	}
+	if c.Implicit && c.WeightedLambda {
+		return fmt.Errorf("host: WeightedLambda applies to explicit ALS-WR only, not implicit mode")
+	}
+	if c.BlockSize < 0 {
+		return fmt.Errorf("host: negative block size %d", c.BlockSize)
+	}
+	if c.BlockSize > 0 && !c.Implicit {
+		return fmt.Errorf("host: block-coordinate updates (iALS++) require implicit mode")
+	}
+	if c.BlockSize > 0 && c.Solver != SolverCholesky {
+		return fmt.Errorf("host: block-coordinate updates solve each b×b subsystem directly; -solver %s cannot be combined with a block size", c.Solver)
+	}
+	return nil
 }
 
 // IterStats records per-half-iteration progress when TrackLoss is on.
@@ -184,6 +245,9 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 	cfg.setDefaults(m, mx.NNZ())
 	if mx.NNZ() == 0 {
 		return nil, fmt.Errorf("host: empty rating matrix")
+	}
+	if err := cfg.validateMode(); err != nil {
+		return nil, err
 	}
 	if cfg.StartIteration < 0 {
 		return nil, fmt.Errorf("host: negative start iteration %d", cfg.StartIteration)
@@ -229,42 +293,63 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 		chunkY = defaultChunk(n, mx.NNZ(), cfg.Workers)
 	}
 
-	cfg.Obs.SetShape(m, n, mx.NNZ(), pool.workers, variantLabel(cfg))
+	cfg.Obs.SetShape(m, n, mx.NNZ(), pool.workers, variantLabel(cfg), modeLabel(cfg))
 	if cfg.Guard != nil {
 		cfg.Guard.SetVariant(variantLabel(cfg))
+		// The watchdog's loss floor scales with the objective's natural
+		// magnitude: Σr² for the explicit squared error, Σc·p² = nnz + αΣr
+		// for the implicit confidence-weighted one.
 		var sq float64
-		for _, v := range mx.R.Val {
-			sq += float64(v) * float64(v)
+		if cfg.Implicit {
+			for _, v := range mx.R.Val {
+				sq += 1 + float64(cfg.Alpha)*float64(v)
+			}
+		} else {
+			for _, v := range mx.R.Val {
+				sq += float64(v) * float64(v)
+			}
 		}
 		cfg.Guard.SetLossScale(sq)
+	}
+	// Implicit mode shares one FᵀF precompute across every row of a half
+	// iteration; the buffers live here so workers never allocate.
+	var ig *linalg.SharedGram
+	if cfg.Implicit {
+		ig = linalg.NewSharedGram(cfg.K)
 	}
 	res := &Result{X: x, Y: y}
 	start := time.Now()
 	prevLoss := math.Inf(1)
 	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
 		cfg.Obs.BeginHalf(it, "X", m, mx.NNZ(), pool.workers)
-		err := pool.runHalf(mx.R, y, x, orderX, chunkX, it, true)
+		if ig != nil {
+			ig.Compute(y)
+		}
+		err := pool.runHalf(mx.R, y, x, orderX, chunkX, it, true, ig)
 		cfg.Obs.EndHalf()
 		if err != nil {
 			annotateRowError(err, it)
 			return nil, fmt.Errorf("host: iteration %d update X: %w", it, err)
 		}
 		if cfg.TrackLoss {
-			loss := metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+			loss := cfg.loss(mx, x, y)
 			res.History = append(res.History, IterStats{
 				Iteration: it, Half: "X", Loss: loss, Elapsed: time.Since(start),
 			})
 			cfg.Obs.RecordLoss(it, "X", loss)
 		}
 		cfg.Obs.BeginHalf(it, "Y", n, mx.NNZ(), pool.workers)
-		err = pool.runHalf(rt, x, y, orderY, chunkY, it, false)
+		if ig != nil {
+			ig.Compute(x)
+		}
+		err = pool.runHalf(rt, x, y, orderY, chunkY, it, false, ig)
 		cfg.Obs.EndHalf()
 		if err != nil {
 			annotateRowError(err, it)
 			return nil, fmt.Errorf("host: iteration %d update Y: %w", it, err)
 		}
 		if cfg.TrackLoss {
-			loss := metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+			loss := cfg.loss(mx, x, y)
 			res.History = append(res.History, IterStats{
 				Iteration: it, Half: "Y", Loss: loss, Elapsed: time.Since(start),
 			})
@@ -286,7 +371,7 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 			if cfg.TrackLoss && !blew {
 				loss = res.History[len(res.History)-1].Loss
 			} else {
-				loss = metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+				loss = cfg.loss(mx, x, y)
 			}
 			if err := g.CheckIteration(it, x.Data, y.Data, loss); err != nil {
 				return nil, fmt.Errorf("host: iteration %d: %w", it, err)
@@ -304,7 +389,7 @@ func Train(mx *sparse.Matrix, cfg Config) (*Result, error) {
 			if cfg.TrackLoss {
 				loss = res.History[len(res.History)-1].Loss
 			} else {
-				loss = metrics.RegularizedLoss(mx.R, x, y, float64(cfg.Lambda), cfg.WeightedLambda)
+				loss = cfg.loss(mx, x, y)
 				cfg.Obs.RecordLoss(it, "Y", loss)
 			}
 			res.Converged = it
@@ -334,6 +419,25 @@ func variantLabel(cfg Config) string {
 		return "flat baseline"
 	}
 	return cfg.Variant.String()
+}
+
+// modeLabel names the training mode for observability output.
+func modeLabel(cfg Config) string {
+	if cfg.Implicit {
+		return "implicit"
+	}
+	return "explicit"
+}
+
+// loss evaluates the objective the configured mode minimizes: the paper's
+// Eq. 2 for explicit runs, the Hu et al. confidence-weighted objective for
+// implicit ones. The watchdog, early stopping and TrackLoss all read this,
+// so divergence detection stays meaningful across modes.
+func (c Config) loss(mx *sparse.Matrix, x, y *linalg.Dense) float64 {
+	if c.Implicit {
+		return metrics.ImplicitLoss(mx.R, x, y, float64(c.Alpha), float64(c.Lambda))
+	}
+	return metrics.RegularizedLoss(mx.R, x, y, float64(c.Lambda), c.WeightedLambda)
 }
 
 // InitialY fills Y with the paper's "small random numbers" initial guess.
@@ -388,8 +492,9 @@ type halfJob struct {
 	fixed, out *linalg.Dense
 	order      []int32 // LPT permutation; nil = natural order
 	chunk      int
-	iter       int  // 1-based full iteration (guard/chaos addressing)
-	xHalf      bool // true for the X half, false for the Y half
+	iter       int                // 1-based full iteration (guard/chaos addressing)
+	xHalf      bool               // true for the X half, false for the Y half
+	gram       *linalg.SharedGram // implicit mode's FᵀF precompute; nil otherwise
 	cursor     atomic.Int64
 	err        atomic.Value
 	wg         sync.WaitGroup
@@ -421,8 +526,8 @@ func (p *workerPool) close() {
 }
 
 // runHalf broadcasts one job to every worker and waits for the rendezvous.
-func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []int32, chunk, iter int, xHalf bool) error {
-	job := &halfJob{r: r, fixed: fixed, out: out, order: order, chunk: chunk, iter: iter, xHalf: xHalf}
+func (p *workerPool) runHalf(r *sparse.CSR, fixed, out *linalg.Dense, order []int32, chunk, iter int, xHalf bool, gram *linalg.SharedGram) error {
+	job := &halfJob{r: r, fixed: fixed, out: out, order: order, chunk: chunk, iter: iter, xHalf: xHalf, gram: gram}
 	job.wg.Add(p.workers)
 	for i := 0; i < p.workers; i++ {
 		p.jobs <- job
@@ -479,7 +584,7 @@ func (p *workerPool) work(job *halfJob, ws *workerState) (chunks, rows int) {
 				if job.err.Load() != nil {
 					return
 				}
-				if err := updateRow(job.r, job.fixed, job.out, u, job.iter, job.xHalf, p.cfg, ws); err != nil {
+				if err := updateRow(job.r, job.fixed, job.out, u, job.iter, job.xHalf, p.cfg, ws, job.gram); err != nil {
 					job.err.CompareAndSwap(nil, err)
 					return
 				}
@@ -508,7 +613,7 @@ func (p *workerPool) work(job *halfJob, ws *workerState) (chunks, rows int) {
 			if job.order != nil {
 				u = int(job.order[i])
 			}
-			if err := updateRow(job.r, job.fixed, job.out, u, job.iter, job.xHalf, p.cfg, ws); err != nil {
+			if err := updateRow(job.r, job.fixed, job.out, u, job.iter, job.xHalf, p.cfg, ws, job.gram); err != nil {
 				job.err.CompareAndSwap(nil, err)
 				return
 			}
@@ -533,6 +638,21 @@ type workerState struct {
 	stageVals []float32
 	stageCols []int32
 
+	// Implicit-mode and CG scratch: the confidence-scaled row buffer (4k
+	// for the unrolled kernel's four strips), the CG residual/direction/
+	// matvec vectors and separate right-hand side, and the iALS++ block
+	// system (blkMat is a reusable header over blk — never reallocated, so
+	// block solves stay allocation-free).
+	cf     []float32
+	rhs    []float32
+	cgR    []float32
+	cgP    []float32
+	cgAp   []float32
+	blk    []float32
+	blkMat linalg.Dense
+	delta  []float32
+	dots   []float32 // per-nonzero f_z·x dot products, grown per row
+
 	// timed brackets the S1/S2/S3 kernels in updateRow with wall-clock
 	// probes, accumulated into stage; set only when Config.Obs is non-nil,
 	// so the default path carries a single predictable branch per stage.
@@ -542,11 +662,18 @@ type workerState struct {
 
 func newWorkerState(k int) *workerState {
 	return &workerState{
-		smat: linalg.NewDense(k, k),
-		svec: make([]float32, k),
-		gsum: make([]float32, k*k),
-		pmat: make([]float32, linalg.PackedLen(k)),
-		ldl:  make([]float64, k),
+		smat:  linalg.NewDense(k, k),
+		svec:  make([]float32, k),
+		gsum:  make([]float32, k*k),
+		pmat:  make([]float32, linalg.PackedLen(k)),
+		ldl:   make([]float64, k),
+		cf:    make([]float32, 4*k),
+		rhs:   make([]float32, k),
+		cgR:   make([]float32, k),
+		cgP:   make([]float32, k),
+		cgAp:  make([]float32, k),
+		blk:   make([]float32, k*k),
+		delta: make([]float32, k),
 	}
 }
 
@@ -563,6 +690,13 @@ func (ws *workerState) ensureStage(omega, k int) {
 	ws.stageCols = ws.stageCols[:omega]
 }
 
+func (ws *workerState) ensureDots(omega int) {
+	if cap(ws.dots) < omega {
+		ws.dots = make([]float32, omega)
+	}
+	ws.dots = ws.dots[:omega]
+}
+
 // updateRow solves one row's normal equations (Algorithm 2 body). With a
 // warmed workerState it performs no allocations (the package tests assert
 // zero allocs per row for every variant).
@@ -577,7 +711,7 @@ func (ws *workerState) ensureStage(omega, k int) {
 // rescue is counted on its rung. Each rung re-assembles the full system
 // (Gram and right-hand side) because a rejected-but-completed solve has
 // already overwritten the RHS with garbage.
-func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u, iter int, xHalf bool, cfg Config, ws *workerState) error {
+func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u, iter int, xHalf bool, cfg Config, ws *workerState, ig *linalg.SharedGram) error {
 	k := cfg.K
 	cols, vals := r.Row(u)
 	omega := len(cols)
@@ -618,6 +752,15 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u, iter int, xHalf bool,
 		lam *= float32(omega)
 	}
 
+	// Implicit mode and the explicit CG solver branch to their own row
+	// kernels; the rest of this function is the explicit direct path.
+	if cfg.Implicit {
+		return updateRowImplicit(cfg, ws, g, chaosGram, forced, src, k, gcols, gvals, lam, xu, u, omega, ig)
+	}
+	if cfg.Solver == SolverCG {
+		return cgRow(cfg, ws, g, chaosGram, forced, src, k, gcols, gvals, lam, xu, u, omega, nil)
+	}
+
 	var t0 time.Time
 	if ws.timed {
 		t0 = time.Now()
@@ -645,9 +788,12 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u, iter int, xHalf bool,
 			t0 = now
 		}
 		var err error
-		if forced {
+		switch {
+		case forced:
 			err = guard.ErrForcedFailure
-		} else {
+		case cfg.Solver == SolverLDL:
+			err = linalg.LDLSolvePacked(ws.pmat, k, ws.svec, ws.ldl)
+		default:
 			err = linalg.CholeskySolvePacked(ws.pmat, k, ws.svec)
 		}
 		if err != nil {
@@ -705,9 +851,12 @@ func updateRow(r *sparse.CSR, fixed, out *linalg.Dense, u, iter int, xHalf bool,
 	// S3: Cholesky solve; failures go through recoverRow (pre-guard LDLᵀ
 	// fallback for borderline λ = 0 systems, or the guard's ladder).
 	var err error
-	if forced {
+	switch {
+	case forced:
 		err = guard.ErrForcedFailure
-	} else {
+	case cfg.Solver == SolverLDL:
+		err = linalg.LDLSolve(ws.smat, ws.svec)
+	default:
 		err = linalg.CholeskySolve(ws.smat, ws.svec)
 	}
 	if err != nil {

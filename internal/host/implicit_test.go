@@ -1,0 +1,362 @@
+package host
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/linalg"
+	"repro/internal/variant"
+)
+
+// implicitBase is the shared hyperparameter set for the implicit-mode tests:
+// small enough to keep the dense-Gram reference cheap, λ > 0 so every system
+// is SPD by construction.
+func implicitBase() Config {
+	return Config{K: 8, Lambda: 0.1, Alpha: 40, Iterations: 3, Seed: 13, Implicit: true}
+}
+
+// TestImplicitWorkerInvariance: the shared FᵀF Gram is computed sequentially
+// before the workers start and row updates are independent, so implicit
+// training must be bit-identical across worker counts — for the direct
+// solver, CG, and iALS++ blocks alike.
+func TestImplicitWorkerInvariance(t *testing.T) {
+	mx := smallDataset(t, 41)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"direct flat", func(c *Config) { c.Flat = true }},
+		{"direct tb+fus", func(c *Config) { c.Variant = variant.Options{Fused: true} }},
+		{"direct tb+loc", func(c *Config) { c.Variant = variant.Options{Local: true} }},
+		{"cg", func(c *Config) { c.Solver = SolverCG; c.CGIters = 4 }},
+		{"block b=3", func(c *Config) { c.BlockSize = 3 }},
+	}
+	for _, tc := range cases {
+		var ref *Result
+		for _, workers := range []int{1, 4, 16} {
+			cfg := implicitBase()
+			cfg.Workers = workers
+			tc.mut(&cfg)
+			res, err := Train(mx, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if d := linalg.MaxAbsDiff(ref.X, res.X); d != 0 {
+				t.Fatalf("%s workers=%d: X differs by %g from single-worker run", tc.name, workers, d)
+			}
+			if d := linalg.MaxAbsDiff(ref.Y, res.Y); d != 0 {
+				t.Fatalf("%s workers=%d: Y differs by %g", tc.name, workers, d)
+			}
+		}
+	}
+}
+
+// TestImplicitVariantsBitIdentical: the confidence kernel is inherently
+// fused+packed, so every non-vector scheduling/staging variant must produce
+// the same bits as the flat baseline; the 4-way unrolled vector kernel
+// reassociates and only has to stay close.
+func TestImplicitVariantsBitIdentical(t *testing.T) {
+	mx := smallDataset(t, 42)
+	base := implicitBase()
+	base.Flat = true
+	ref, err := Train(mx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := []variant.Options{
+		{},
+		{Local: true},
+		{Fused: true},
+		{Local: true, Fused: true},
+		{Register: true}, // Register is a documented no-op in implicit mode
+	}
+	for _, v := range exact {
+		cfg := implicitBase()
+		cfg.Variant = v
+		got, err := Train(mx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if d := linalg.MaxAbsDiff(ref.X, got.X); d != 0 {
+			t.Errorf("%s: X differs from flat baseline by %g, want bit-identical", v, d)
+		}
+		if d := linalg.MaxAbsDiff(ref.Y, got.Y); d != 0 {
+			t.Errorf("%s: Y differs by %g, want bit-identical", v, d)
+		}
+	}
+	for _, v := range []variant.Options{{Vector: true}, {Vector: true, Local: true, Fused: true}} {
+		cfg := implicitBase()
+		cfg.Variant = v
+		got, err := Train(mx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if d := linalg.MaxAbsDiff(ref.X, got.X); d > 2e-3 {
+			t.Errorf("%s: X differs from flat baseline by %g, want < 2e-3", v, d)
+		}
+	}
+}
+
+// TestImplicitLossMonotone: each direct half-step solves its subproblem
+// exactly, so the Hu et al. objective must not increase between half-steps.
+func TestImplicitLossMonotone(t *testing.T) {
+	mx := smallDataset(t, 43)
+	cfg := implicitBase()
+	cfg.Iterations = 5
+	cfg.TrackLoss = true
+	res, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("history length %d, want 10 half-steps", len(res.History))
+	}
+	prev := math.Inf(1)
+	for i, h := range res.History {
+		if math.IsNaN(h.Loss) || math.IsInf(h.Loss, 0) {
+			t.Fatalf("half-step %d: non-finite loss %g", i, h.Loss)
+		}
+		if h.Loss > prev*(1+1e-6) {
+			t.Fatalf("implicit loss increased at half-step %d: %g -> %g", i, prev, h.Loss)
+		}
+		prev = h.Loss
+	}
+	if !(res.History[len(res.History)-1].Loss < res.History[0].Loss) {
+		t.Fatal("implicit loss did not decrease over training")
+	}
+}
+
+// TestImplicitCGApproachesDirect: with enough iterations per row solve, CG
+// training lands close to the direct solve; with the default budget it still
+// trains (finite factors, decreasing loss).
+func TestImplicitCGApproachesDirect(t *testing.T) {
+	mx := smallDataset(t, 44)
+	direct, err := Train(mx, implicitBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := implicitBase()
+	cfg.Solver = SolverCG
+	cfg.CGIters = 2 * cfg.K
+	cg, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(direct.X, cg.X); d > 1e-2 {
+		t.Fatalf("CG at 2k iters differs from direct solve by %g", d)
+	}
+
+	cheap := implicitBase()
+	cheap.Solver = SolverCG // default CGIters = 3
+	cheap.TrackLoss = true
+	res, err := Train(mx, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guard.FiniteVec(res.X.Data) || !guard.FiniteVec(res.Y.Data) {
+		t.Fatal("CG run produced non-finite factors")
+	}
+	if last, first := res.History[len(res.History)-1].Loss, res.History[0].Loss; !(last < first) {
+		t.Fatalf("CG loss did not decrease: %g -> %g", first, last)
+	}
+}
+
+// TestImplicitBlockFullWidthMatchesDirect: with b = k the sweep is a single
+// Newton step from the warm start on a quadratic — the exact solution — so
+// iALS++ must agree with the direct solver to float32 accuracy.
+func TestImplicitBlockFullWidthMatchesDirect(t *testing.T) {
+	mx := smallDataset(t, 45)
+	direct, err := Train(mx, implicitBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := implicitBase()
+	cfg.BlockSize = cfg.K
+	blk, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(direct.X, blk.X); d > 1e-3 {
+		t.Fatalf("full-width block solve differs from direct by %g", d)
+	}
+}
+
+// TestImplicitBlockTrains: a genuinely partial sweep (b < k) is not an exact
+// solve, but Gauss-Seidel over SPD blocks still descends the objective.
+func TestImplicitBlockTrains(t *testing.T) {
+	mx := smallDataset(t, 46)
+	for _, b := range []int{1, 2, 3} {
+		cfg := implicitBase()
+		cfg.BlockSize = b
+		cfg.TrackLoss = true
+		res, err := Train(mx, cfg)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if !guard.FiniteVec(res.X.Data) || !guard.FiniteVec(res.Y.Data) {
+			t.Fatalf("b=%d: non-finite factors", b)
+		}
+		prev := math.Inf(1)
+		for i, h := range res.History {
+			if h.Loss > prev*(1+1e-6) {
+				t.Fatalf("b=%d: loss increased at half-step %d: %g -> %g", b, i, prev, h.Loss)
+			}
+			prev = h.Loss
+		}
+	}
+}
+
+// TestImplicitRowUpdateAllocsZero extends the steady-state allocation
+// regression to every implicit sub-path: direct (scalar and vector kernels),
+// CG, and blocks must not touch the heap once the worker scratch is warm.
+func TestImplicitRowUpdateAllocsZero(t *testing.T) {
+	mx := smallDataset(t, 47)
+	check := func(name string, mut func(*Config)) {
+		cfg := Config{K: 10, Lambda: 0.1, Implicit: true}
+		mut(&cfg)
+		if n := RowUpdateAllocs(mx, cfg); n != 0 {
+			t.Errorf("%s: %v allocs per row update, want 0", name, n)
+		}
+	}
+	check("direct flat", func(c *Config) { c.Flat = true })
+	check("direct tb", func(c *Config) {})
+	check("direct tb+loc+vec", func(c *Config) { c.Variant = variant.Options{Local: true, Vector: true} })
+	check("cg", func(c *Config) { c.Solver = SolverCG })
+	check("block b=4", func(c *Config) { c.BlockSize = 4 })
+}
+
+// TestImplicitCGDegenerateFallsBackToLadder (satellite): chaos-forced solve
+// failures on the CG path must route through the assembled-system fallback
+// and the guard ladder to the skip rung — finite factors, never NaN. The
+// Gram-poisoning fault must likewise be repaired by the jitter rungs.
+func TestImplicitCGDegenerateFallsBackToLadder(t *testing.T) {
+	mx := smallDataset(t, 48)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"cg", func(c *Config) { c.Solver = SolverCG }},
+		{"block", func(c *Config) { c.BlockSize = 3 }},
+		{"direct", func(c *Config) {}},
+	} {
+		g := guard.New(guard.Policy{})
+		g.Chaos = &guard.Chaos{
+			FailFunc: func(iter, row int, xHalf bool) bool {
+				return iter == 1 && xHalf && row == 2
+			},
+		}
+		cfg := implicitBase()
+		cfg.Guard = g
+		tc.mut(&cfg)
+		res, err := Train(mx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !guard.FiniteVec(res.X.Data) || !guard.FiniteVec(res.Y.Data) {
+			t.Fatalf("%s: non-finite factors after forced failure", tc.name)
+		}
+		if n := g.Recoveries(guard.RungSkip); n != 1 {
+			t.Fatalf("%s: skip rung fired %d times, want 1", tc.name, n)
+		}
+
+		// Gram corruption: the ladder's jitter must repair it on every path.
+		g2 := guard.New(guard.Policy{})
+		ch := &guard.Chaos{Seed: 17, GramRows: 3}
+		ch.Bind(mx.Rows())
+		g2.Chaos = ch
+		cfg2 := implicitBase()
+		cfg2.Guard = g2
+		tc.mut(&cfg2)
+		res2, err := Train(mx, cfg2)
+		if err != nil {
+			t.Fatalf("%s chaos gram: %v", tc.name, err)
+		}
+		if !guard.FiniteVec(res2.X.Data) || !guard.FiniteVec(res2.Y.Data) {
+			t.Fatalf("%s chaos gram: non-finite factors", tc.name)
+		}
+		if g2.TotalRecoveries() == 0 {
+			t.Fatalf("%s chaos gram: no recoveries counted for poisoned rows", tc.name)
+		}
+	}
+}
+
+// TestExplicitSolverOptions: the solver flag also applies to explicit mode —
+// LDLᵀ matches Cholesky almost exactly (same assembled system, different
+// factorization), and CG with a generous budget lands nearby.
+func TestExplicitSolverOptions(t *testing.T) {
+	mx := smallDataset(t, 49)
+	base := Config{K: 8, Lambda: 0.1, Iterations: 3, Seed: 5}
+	ref, err := Train(mx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldl := base
+	ldl.Solver = SolverLDL
+	got, err := Train(mx, ldl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-solve the factorizations differ only at rounding level, but the
+	// difference feeds back through the alternating halves and grows a few
+	// ULP-multiples per iteration.
+	if d := linalg.MaxAbsDiff(ref.X, got.X); d > 2e-2 {
+		t.Fatalf("explicit LDL differs from Cholesky by %g", d)
+	}
+	cg := base
+	cg.Solver = SolverCG
+	cg.CGIters = 2 * cg.K
+	got, err = Train(mx, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(ref.X, got.X); d > 1e-2 {
+		t.Fatalf("explicit CG differs from Cholesky by %g", d)
+	}
+}
+
+// TestValidateMode: inconsistent mode combinations are rejected up front
+// with messages that name the offending knob.
+func TestValidateMode(t *testing.T) {
+	mx := smallDataset(t, 50)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"weighted implicit", Config{Implicit: true, WeightedLambda: true}, "WeightedLambda"},
+		{"block explicit", Config{BlockSize: 2}, "implicit"},
+		{"block cg", Config{Implicit: true, BlockSize: 2, Solver: SolverCG}, "block"},
+		{"negative block", Config{Implicit: true, BlockSize: -1}, "negative"},
+		{"unknown solver", Config{Solver: Solver(9)}, "solver"},
+	}
+	for _, tc := range cases {
+		if _, err := Train(mx, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseSolver pins the flag grammar.
+func TestParseSolver(t *testing.T) {
+	for in, want := range map[string]Solver{
+		"": SolverCholesky, "chol": SolverCholesky, "cholesky": SolverCholesky,
+		"ldl": SolverLDL, "cg": SolverCG,
+	} {
+		got, err := ParseSolver(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSolver(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("Solver(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseSolver("qr"); err == nil {
+		t.Error("ParseSolver accepted unknown solver")
+	}
+}

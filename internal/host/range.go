@@ -24,6 +24,7 @@ type RangeUpdater struct {
 	cfg       Config
 	userChunk int // ChunkSize as configured; 0 = derive per call
 	pool      *workerPool
+	ig        *linalg.SharedGram // implicit mode's FᵀF; recomputed per call
 }
 
 // NewRangeUpdater starts a worker pool for range updates. Only the solver
@@ -35,7 +36,11 @@ func NewRangeUpdater(cfg Config) *RangeUpdater {
 	cfg.Guard = nil
 	cfg.Obs = nil
 	cfg.setDefaults(0, 0)
-	return &RangeUpdater{cfg: cfg, userChunk: userChunk, pool: newWorkerPool(cfg)}
+	ru := &RangeUpdater{cfg: cfg, userChunk: userChunk, pool: newWorkerPool(cfg)}
+	if cfg.Implicit {
+		ru.ig = linalg.NewSharedGram(cfg.K)
+	}
+	return ru
 }
 
 // K returns the configured factor dimensionality.
@@ -62,7 +67,13 @@ func (ru *RangeUpdater) UpdateRange(r *sparse.CSR, fixed, out *linalg.Dense, lo,
 	if chunk <= 0 {
 		chunk = defaultChunk(view.NumRows, view.NNZ(), ru.cfg.Workers)
 	}
-	return ru.pool.runHalf(view, fixed, outView, order, chunk, iter, xHalf)
+	if ru.ig != nil {
+		// The shared FᵀF depends only on the fixed factor, which every range
+		// of the same half sees identically — so per-call recomputation keeps
+		// range updates bit-identical to a full Train half.
+		ru.ig.Compute(fixed)
+	}
+	return ru.pool.runHalf(view, fixed, outView, order, chunk, iter, xHalf, ru.ig)
 }
 
 // Close releases the worker pool; UpdateRange must not be called after it.

@@ -96,6 +96,68 @@ func RegularizedLoss(r *sparse.CSR, x, y *linalg.Dense, lambda float64, weighted
 	return se + lambda*reg
 }
 
+// ImplicitLoss evaluates the implicit-feedback (Hu/Koren/Volinsky) objective
+//
+//	L(X,Y) = Σ_u Σ_i c_ui (p_ui − x_u·y_i)² + λ(Σ_u|x_u|² + Σ_i|y_i|²)
+//
+// with preference p_ui = 1 for observed pairs (0 otherwise) and confidence
+// c_ui = 1 + α·r_ui (1 for unobserved). The dense m×n sum collapses via the
+// Gram trick: the unobserved baseline Σ_all (x·y)² is Σ_u x_uᵀ(YᵀY)x_u, and
+// each observed pair adds the correction c(1−s)² − s². Exact per-row solves
+// cannot increase this between half-steps (the solvers tests pin it).
+func ImplicitLoss(r *sparse.CSR, x, y *linalg.Dense, alpha, lambda float64) float64 {
+	k := x.Cols
+	gram := make([]float64, k*k)
+	for row := 0; row < y.Rows; row++ {
+		f := y.Row(row)
+		for i := 0; i < k; i++ {
+			fi := float64(f[i])
+			gi := gram[i*k:]
+			for j := i; j < k; j++ {
+				gi[j] += fi * float64(f[j])
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			gram[j*k+i] = gram[i*k+j]
+		}
+	}
+	var loss float64
+	gx := make([]float64, k)
+	for u := 0; u < r.NumRows; u++ {
+		xu := x.Row(u)
+		// Baseline over all items: x_uᵀ G x_u.
+		for i := 0; i < k; i++ {
+			var s float64
+			gi := gram[i*k:]
+			for j := 0; j < k; j++ {
+				s += gi[j] * float64(xu[j])
+			}
+			gx[i] = s
+		}
+		for i := 0; i < k; i++ {
+			loss += float64(xu[i]) * gx[i]
+		}
+		// Observed corrections.
+		cols, vals := r.Row(u)
+		for z, c := range cols {
+			s := linalg.Dot(xu, y.Row(int(c)))
+			conf := 1 + alpha*float64(vals[z])
+			d := 1 - s
+			loss += conf*d*d - s*s
+		}
+	}
+	var reg float64
+	for u := 0; u < x.Rows; u++ {
+		reg += linalg.Nrm2Sq(x.Row(u))
+	}
+	for i := 0; i < y.Rows; i++ {
+		reg += linalg.Nrm2Sq(y.Row(i))
+	}
+	return loss + lambda*reg
+}
+
 // TopN returns the indices of the n highest-scoring unrated items for user
 // u, scored by x_u·y_i. Items already rated in r are excluded. Ties are
 // broken by lower index for determinism. A bounded min-heap (TopK) keeps

@@ -228,3 +228,62 @@ func TestTopNZero(t *testing.T) {
 		t.Fatalf("TopN(0) = %v", got)
 	}
 }
+
+// ImplicitLoss collapses the dense m×n confidence sum with the Gram trick;
+// pin it against the brute-force double loop on a small random problem.
+func TestImplicitLossMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const m, n, k = 12, 9, 4
+	coo := sparse.NewCOO(m, n)
+	for u := 0; u < m; u++ {
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				coo.Append(u, i, float32(rng.Intn(5)+1))
+			}
+		}
+	}
+	r, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := linalg.NewDense(m, k), linalg.NewDense(n, k)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32() - 0.5
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.Float32() - 0.5
+	}
+	const alpha, lambda = 7.5, 0.3
+
+	// Brute force: every (u,i) pair with c=1+α·r, p=1 for observed.
+	obs := make(map[[2]int]float64)
+	for u := 0; u < m; u++ {
+		cols, vals := r.Row(u)
+		for z, c := range cols {
+			obs[[2]int{u, int(c)}] = float64(vals[z])
+		}
+	}
+	var want float64
+	for u := 0; u < m; u++ {
+		for i := 0; i < n; i++ {
+			s := linalg.Dot(x.Row(u), y.Row(i))
+			conf, pref := 1.0, 0.0
+			if v, ok := obs[[2]int{u, i}]; ok {
+				conf, pref = 1+alpha*v, 1
+			}
+			d := pref - s
+			want += conf * d * d
+		}
+	}
+	for u := 0; u < m; u++ {
+		want += lambda * linalg.Nrm2Sq(x.Row(u))
+	}
+	for i := 0; i < n; i++ {
+		want += lambda * linalg.Nrm2Sq(y.Row(i))
+	}
+
+	got := ImplicitLoss(r, x, y, alpha, lambda)
+	if d := math.Abs(got - want); d > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("ImplicitLoss = %g, brute force = %g (diff %g)", got, want, d)
+	}
+}

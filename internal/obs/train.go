@@ -38,6 +38,7 @@ type RunMeta struct {
 	Lambda     float64   `json:"lambda,omitempty"`
 	Iterations int       `json:"iterations,omitempty"`
 	Variant    string    `json:"variant,omitempty"`
+	Mode       string    `json:"mode,omitempty"` // "explicit" or "implicit"
 	Workers    int       `json:"workers,omitempty"`
 	StartedAt  time.Time `json:"started_at"`
 }
@@ -124,15 +125,16 @@ func (r *TrainRecorder) SetMeta(program, dataset string, k int, lambda float64, 
 }
 
 // SetShape records what the solver knows about the run (matrix dimensions,
-// resolved worker count and code variant). Called by host.Train.
-func (r *TrainRecorder) SetShape(rows, cols, nnz, workers int, variant string) {
+// resolved worker count, code variant and training mode). Called by
+// host.Train.
+func (r *TrainRecorder) SetShape(rows, cols, nnz, workers int, variant, mode string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.meta.Rows, r.meta.Cols, r.meta.NNZ = rows, cols, nnz
-	r.meta.Workers, r.meta.Variant = workers, variant
+	r.meta.Workers, r.meta.Variant, r.meta.Mode = workers, variant, mode
 }
 
 // Register mirrors the recorder into reg as live Prometheus metrics.
@@ -149,7 +151,7 @@ func (r *TrainRecorder) Register(reg *Registry) {
 	r.mHalfSeconds = reg.Counter("als_train_half_seconds_total", "Wall time spent in half iterations.", "half")
 	r.mRows = reg.Counter("als_train_rows_total", "Row updates performed.", "half")
 	r.mStageSeconds = reg.Counter("als_train_stage_seconds_total",
-		"Kernel wall time by ALS stage, summed across workers (the paper's S1/S2/S3 hotspot shares; fused variants report the indivisible sweep as s1+s2).", "stage")
+		"Kernel wall time by ALS stage and training mode, summed across workers (the paper's S1/S2/S3 hotspot shares; fused variants report the indivisible sweep as s1+s2).", "stage", "mode")
 	r.mWorkerBusy = reg.Counter("als_train_worker_busy_seconds_total", "Per-worker time spent executing half-iteration jobs.", "worker")
 	r.mWorkerIdle = reg.Counter("als_train_worker_idle_seconds_total", "Per-worker time parked inside a half iteration while others still ran (imbalance).", "worker")
 	r.mWorkerChunks = reg.Counter("als_train_worker_chunks_total", "Chunks claimed from the shared cursor per worker.", "worker")
@@ -158,11 +160,15 @@ func (r *TrainRecorder) Register(reg *Registry) {
 	r.mCkptBytes = reg.Counter("als_checkpoint_io_bytes_total", "Bytes moved by checkpoint I/O.", "op")
 	r.mCkptOps = reg.Counter("als_checkpoint_io_total", "Checkpoint operations by outcome.", "op", "result")
 	reg.Func("als_train_info", "Training-run identity (value is always 1).", Gauge,
-		[]string{"program", "dataset", "variant", "k", "workers"}, func() []Sample {
+		[]string{"program", "dataset", "variant", "mode", "k", "workers"}, func() []Sample {
 			r.mu.Lock()
 			m := r.meta
 			r.mu.Unlock()
-			return []Sample{{Labels: []string{m.Program, m.Dataset, m.Variant,
+			mode := m.Mode
+			if mode == "" {
+				mode = "explicit"
+			}
+			return []Sample{{Labels: []string{m.Program, m.Dataset, m.Variant, mode,
 				strconv.Itoa(m.K), strconv.Itoa(m.Workers)}, Value: 1}}
 		})
 }
@@ -250,9 +256,13 @@ func (r *TrainRecorder) EndHalf() {
 	r.mHalfSeconds.With(ev.Half).Add(dur.Seconds())
 	r.mRows.With(ev.Half).Add(float64(ev.Rows))
 	r.mRowsPerSec.With(ev.Half).Set(ev.RowsPerSec)
+	mode := r.meta.Mode
+	if mode == "" {
+		mode = "explicit"
+	}
 	for s, d := range r.curStage {
 		if d > 0 {
-			r.mStageSeconds.With(StageNames[s]).Add(d.Seconds())
+			r.mStageSeconds.With(StageNames[s], mode).Add(d.Seconds())
 		}
 	}
 	for _, wh := range ev.Workers {

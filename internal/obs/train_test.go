@@ -12,7 +12,7 @@ import (
 // point, and a checkpoint save.
 func driveRecorder(r *TrainRecorder) {
 	r.SetMeta("alstrain", "MVLE", 10, 0.1, 5)
-	r.SetShape(100, 40, 800, 2, "tb+vec+fus")
+	r.SetShape(100, 40, 800, 2, "tb+vec+fus", "implicit")
 	for it := 1; it <= 1; it++ {
 		for _, half := range []string{"X", "Y"} {
 			r.BeginHalf(it, half, 100, 800, 2)
@@ -46,14 +46,14 @@ func TestTrainRecorderMetrics(t *testing.T) {
 		`als_train_halves_total{half="X"} 1`,
 		`als_train_halves_total{half="Y"} 1`,
 		`als_train_rows_total{half="X"} 100`,
-		`als_train_stage_seconds_total{stage="s1+s2"}`,
-		`als_train_stage_seconds_total{stage="s3"}`,
+		`als_train_stage_seconds_total{stage="s1+s2",mode="implicit"}`,
+		`als_train_stage_seconds_total{stage="s3",mode="implicit"}`,
 		`als_train_worker_chunks_total{worker="0"} 6`,
 		`als_train_worker_chunks_total{worker="1"} 4`,
 		`als_train_worker_busy_seconds_total{worker="0"} 0.004`,
 		`als_checkpoint_io_bytes_total{op="save"} 4096`,
 		`als_checkpoint_io_total{op="save",result="ok"} 1`,
-		`als_train_info{program="alstrain",dataset="MVLE",variant="tb+vec+fus",k="10",workers="2"} 1`,
+		`als_train_info{program="alstrain",dataset="MVLE",variant="tb+vec+fus",mode="implicit",k="10",workers="2"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q\n%s", want, out)

@@ -146,6 +146,42 @@ func TestImplicitConverges(t *testing.T) {
 	}
 }
 
+// TestImplicitReferenceLossConverges pins the reference loop's convergence:
+// each exact ALS sweep minimizes the Hu et al. objective over one factor
+// with the other fixed, so the implicit loss must be non-increasing across
+// iteration counts and strictly lower after several sweeps than after one.
+func TestImplicitReferenceLossConverges(t *testing.T) {
+	mx := denseMatrix(t, 15)
+	cfg := ImplicitConfig{K: 8, Lambda: 0.1, Alpha: 10, Seed: 16, Workers: 1}
+	var prev float64 = math.Inf(1)
+	var first, last float64
+	for _, iters := range []int{1, 2, 4, 6} {
+		c := cfg
+		c.Iterations = iters
+		x, y, err := TrainImplicit(mx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := metrics.ImplicitLoss(mx.R, x, y, float64(c.Alpha), float64(c.Lambda))
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("implicit loss after %d iterations is %g", iters, loss)
+		}
+		// Identical seeds make run i a strict prefix of run i+1, so the
+		// loss sequence is the trajectory of one run sampled at 1,2,4,6.
+		if loss > prev*(1+1e-9) {
+			t.Fatalf("implicit loss rose from %g to %g at %d iterations", prev, loss, iters)
+		}
+		prev = loss
+		if iters == 1 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first*0.999) {
+		t.Fatalf("implicit loss did not meaningfully converge: %g after 1 iter, %g after 6", first, last)
+	}
+}
+
 func TestImplicitEmptyRejected(t *testing.T) {
 	coo := sparse.NewCOO(2, 2)
 	empty, err := sparse.NewMatrix(coo)
