@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture bench-capture-modes ci obs-smoke chaos-smoke dist-smoke quant-smoke implicit-smoke experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture bench-capture-modes ci obs-smoke chaos-smoke dist-smoke quant-smoke implicit-smoke trace-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -26,8 +26,10 @@ test-short:
 # counters, and be bit-reproducible), the quantized-serving smoke lane
 # (f16/i8 serving must track the f32 ranking), the implicit-feedback smoke
 # lane (a real implicit alstrain run through the CG and iALS++ fast paths
-# with a recall@10 floor and per-mode stage metrics), and a one-shot bench
-# smoke so benchmark code cannot rot unnoticed.
+# with a recall@10 floor and per-mode stage metrics), the trace smoke lane
+# (a fully-sampled 2-shard fleet whose /debug/traces must export Chrome
+# trace JSON with a shard hop child under every frontend root span), and a
+# one-shot bench smoke so benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -42,6 +44,7 @@ ci:
 	$(MAKE) dist-smoke
 	$(MAKE) quant-smoke
 	$(MAKE) implicit-smoke
+	$(MAKE) trace-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Observability smoke: build alstrain, run one training iteration with
@@ -81,6 +84,15 @@ implicit-smoke:
 # All processes are killed by test cleanup even on failure — no orphans.
 dist-smoke:
 	$(GO) test -run TestDistSmoke -count=1 ./internal/shard
+
+# Trace smoke: through the real binaries, boot two alsserve shard replicas
+# behind an alsfront sampling every request (-trace-sample 1.0), drive
+# recommendations, and require /debug/traces to serve well-formed Chrome
+# trace JSON in which every frontend root span holds at least one shard hop
+# child inside its time envelope, with the same trace IDs retrievable from
+# the /debug/slowest flight recorder.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -count=1 ./internal/shard
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

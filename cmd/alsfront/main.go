@@ -28,6 +28,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/rtrace"
 	"repro/internal/shard"
 )
 
@@ -38,6 +40,9 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "background health-check period")
 	maxN := flag.Int("max-n", 100, "largest accepted n per request")
 	maxFoldIn := flag.Int("max-foldin-items", 10000, "largest accepted fold-in rating count")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/pprof (and, with -trace-sample, /debug/traces and /debug/slowest) on a second address")
+	traceSample := flag.Float64("trace-sample", 0, "head-sample this fraction of requests into span traces: one root per request with a child per shard hop, propagated to the shards over traceparent (0 disables)")
+	slowLog := flag.Duration("slow-log", 0, "log requests at or above this duration with their trace ID (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -54,15 +59,36 @@ func main() {
 		fail(fmt.Errorf("need -shards with at least one replica URL"))
 	}
 
+	var tracer *rtrace.Tracer
+	if *traceSample > 0 {
+		tracer = rtrace.New(rtrace.Config{Sample: *traceSample, Process: "alsfront"})
+	}
 	front, err := shard.NewFrontend(shard.FrontendConfig{
 		Shards:         urls,
 		ShardTimeout:   *shardTimeout,
 		ProbeInterval:  *probeInterval,
 		MaxN:           *maxN,
 		MaxFoldInItems: *maxFoldIn,
+		Tracer:         tracer,
+		SlowLog:        *slowLog,
 	})
 	if err != nil {
 		fail(err)
+	}
+	if *debugAddr != "" {
+		reg := front.Registry()
+		obs.RegisterProcessMetrics(reg)
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Registry: reg,
+			Ready:    front.Ready,
+			Traces:   tracer.TracesHandler(),
+			Slowest:  tracer.SlowestHandler(),
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server listening on http://%s\n", dbg.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

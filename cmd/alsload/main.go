@@ -38,6 +38,10 @@ type modelInfo struct {
 
 type result struct {
 	latencies []time.Duration
+	// stamps[i] is when request i completed, as an offset from the run
+	// start — the raw material for the -timeline per-second series.
+	stamps    []time.Duration
+	errStamps []time.Duration
 	codes     map[int]int
 	errors    int
 }
@@ -83,6 +87,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 	capture := flag.String("capture", "", "write per-target and aggregate stats as JSON to this file")
 	label := flag.String("label", "", "free-form label stored in the -capture output")
+	timeline := flag.String("timeline", "", "write a per-second JSONL series ({sec, requests, rps, p50_ms, p99_ms, errors}) to this file — throughput and tail latency over the run's lifetime, aggregated across all targets")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -125,7 +130,8 @@ func main() {
 	fmt.Printf("alsload: %d workers/target x %d target(s), %v, n=%d, user skew %.2f, fold-in %.0f%%\n",
 		*concurrency, len(targets), *duration, *n, *skew, *foldinFrac*100)
 
-	deadline := time.Now().Add(*duration)
+	startRun := time.Now()
+	deadline := startRun.Add(*duration)
 	results := make([][]result, len(targets))
 	var wg sync.WaitGroup
 	for ti := range targets {
@@ -135,7 +141,7 @@ func main() {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				results[ti][w] = drive(client, targets[ti], infos[ti], deadline, driveOpts{
+				results[ti][w] = drive(client, targets[ti], infos[ti], startRun, deadline, driveOpts{
 					n: *n, skew: *skew,
 					seed:   *seed + int64(ti)*104729 + int64(w)*7919,
 					foldin: *foldinFrac,
@@ -181,6 +187,12 @@ func main() {
 	fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		agg.P50ms, agg.P95ms, agg.P99ms, agg.Maxms)
 
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, results); err != nil {
+			fail(err)
+		}
+		fmt.Printf("per-second timeline written to %s\n", *timeline)
+	}
 	if *capture != "" {
 		out := captureOut{
 			Label: *label, Targets: targets,
@@ -198,6 +210,62 @@ func main() {
 		}
 		fmt.Printf("stats written to %s\n", *capture)
 	}
+}
+
+// timelinePoint is one -timeline JSONL line: everything that completed in
+// second [Sec, Sec+1) of the run, across all targets and workers.
+type timelinePoint struct {
+	Sec      int     `json:"sec"`
+	Requests int     `json:"requests"`
+	RPS      float64 `json:"rps"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	Errors   int     `json:"errors"`
+}
+
+// writeTimeline buckets every request by its completion second and writes
+// one JSONL point per second — the time axis the aggregate stats flatten
+// away, which is where warmup, cache-fill and degradation episodes show.
+func writeTimeline(path string, results [][]result) error {
+	bySec := map[int][]time.Duration{}
+	errsBySec := map[int]int{}
+	last := 0
+	for _, rs := range results {
+		for _, r := range rs {
+			for i, stamp := range r.stamps {
+				s := int(stamp / time.Second)
+				bySec[s] = append(bySec[s], r.latencies[i])
+				if s > last {
+					last = s
+				}
+			}
+			for _, stamp := range r.errStamps {
+				s := int(stamp / time.Second)
+				errsBySec[s]++
+				if s > last {
+					last = s
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for s := 0; s <= last; s++ {
+		lats := bySec[s]
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pt := timelinePoint{
+			Sec: s, Requests: len(lats), RPS: float64(len(lats)),
+			Errors: errsBySec[s],
+		}
+		if len(lats) > 0 {
+			pt.P50ms = ms(lats[int(0.50*float64(len(lats)-1))])
+			pt.P99ms = ms(lats[int(0.99*float64(len(lats)-1))])
+		}
+		if err := enc.Encode(pt); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 func summarize(st *stats, lats []time.Duration, seconds float64) {
@@ -249,7 +317,7 @@ type driveOpts struct {
 	foldin float64
 }
 
-func drive(client *http.Client, base string, info *modelInfo, deadline time.Time, o driveOpts) result {
+func drive(client *http.Client, base string, info *modelInfo, startRun, deadline time.Time, o driveOpts) result {
 	users := dataset.NewZipfSampler(info.Users, o.skew, o.seed)
 	rng := rand.New(rand.NewSource(o.seed + 1))
 	res := result{codes: map[int]int{}}
@@ -267,11 +335,14 @@ func drive(client *http.Client, base string, info *modelInfo, deadline time.Time
 		}
 		if err != nil {
 			res.errors++
+			res.errStamps = append(res.errStamps, time.Since(startRun))
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		res.latencies = append(res.latencies, time.Since(start))
+		done := time.Now()
+		res.latencies = append(res.latencies, done.Sub(start))
+		res.stamps = append(res.stamps, done.Sub(startRun))
 		res.codes[resp.StatusCode]++
 	}
 	return res

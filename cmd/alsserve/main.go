@@ -40,6 +40,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/quant"
+	"repro/internal/rtrace"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
@@ -61,6 +62,8 @@ func main() {
 	maxStale := flag.Duration("max-staleness", 0, "readiness bound for -debug-addr's /readyz: fail once the last checkpoint installed by -watch is older than this (0 disables the age check)")
 	shardSpec := flag.String("shard", "", "serve as shard i/N of an item-partitioned fleet (e.g. 0/3): only rows [i*items/N, (i+1)*items/N) of the item factors are kept, and the /shard/v1/* endpoints for alsfront are enabled")
 	precision := flag.String("precision", "f32", "scoring precision for the item factors: f32, f16 or i8; quantized precisions compress each swapped-in model once per swap and score with the fused dequantizing kernels (fold-in still solves in float32)")
+	traceSample := flag.Float64("trace-sample", 0, "head-sample this fraction of requests into per-request span traces (0 disables tracing entirely; inbound traceparent headers always continue a sampled trace); browse them at -debug-addr's /debug/traces and /debug/slowest")
+	slowLog := flag.Duration("slow-log", 0, "log requests at or above this duration with their trace ID (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -76,11 +79,17 @@ func main() {
 		fail(err)
 	}
 
+	var tracer *rtrace.Tracer
+	if *traceSample > 0 {
+		tracer = rtrace.New(rtrace.Config{Sample: *traceSample, Process: "alsserve"})
+	}
 	srv := serve.New(serve.Config{
 		Workers: *workers, Queue: *queue, Timeout: *timeout,
 		CacheSize: *cacheSize, MaxN: *maxN,
+		Tracer: tracer, SlowLog: *slowLog,
 	})
 	defer srv.Close()
+	tracer.Register(srv.Telemetry().Registry())
 	srv.SetPrecision(prec)
 	var rep *shard.Replica
 	if *shardSpec != "" {
@@ -101,6 +110,8 @@ func main() {
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
 			Registry: reg,
 			Ready:    serve.Readiness(srv, *maxStale, nil),
+			Traces:   tracer.TracesHandler(),
+			Slowest:  tracer.SlowestHandler(),
 		})
 		if err != nil {
 			fail(err)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/quant"
+	"repro/internal/rtrace"
 	"repro/internal/shard"
 	"repro/internal/variant"
 )
@@ -69,6 +70,8 @@ func main() {
 	threads := flag.Int("threads", 0, "solver goroutines per distributed worker process (0 = GOMAXPROCS; only with -workers)")
 	distRank := flag.Int("dist-rank", -1, "internal: run as distributed worker with this rank (set by the -workers coordinator)")
 	distCoord := flag.String("dist-coord", "", "internal: coordinator address for -dist-rank")
+	traceSample := flag.Float64("trace-sample", 0, "with -workers: head-sample the run into a span trace — coordinator gather/broadcast spans plus each worker's compute/gather/broadcast spans shipped back over the exchange protocol; browse at -debug-addr's /debug/traces or export with -span-trace-out")
+	spanTraceOut := flag.String("span-trace-out", "", "with -trace-sample: write the collected span trace as Chrome trace-event JSON to this file after training")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -122,6 +125,16 @@ func main() {
 	if *debugAddr != "" || *traceOut != "" || *eventsOut != "" {
 		rec = obs.NewTrainRecorder()
 	}
+	var tracer *rtrace.Tracer
+	if *traceSample > 0 {
+		if *workers <= 0 {
+			fail(fmt.Errorf("-trace-sample traces the distributed exchange and needs -workers (single-process runs use -trace-out)"))
+		}
+		tracer = rtrace.New(rtrace.Config{Sample: *traceSample, Process: "alstrain"})
+	}
+	if *spanTraceOut != "" && tracer == nil {
+		fail(fmt.Errorf("-span-trace-out needs -trace-sample"))
+	}
 	var reg *obs.Registry
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
@@ -130,7 +143,13 @@ func main() {
 			gd.Register(reg)
 		}
 		obs.RegisterProcessMetrics(reg)
-		dbg, err := obs.StartDebug(*debugAddr, reg, func() any { return rec.RunInfo() })
+		tracer.Register(reg)
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Registry: reg,
+			RunInfo:  func() any { return rec.RunInfo() },
+			Traces:   tracer.TracesHandler(),
+			Slowest:  tracer.SlowestHandler(),
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -263,6 +282,7 @@ func main() {
 			CheckpointKeep: *ckptKeep, CheckpointPrecision: ckPrec,
 			Resume:   *resume,
 			Registry: reg,
+			Tracer:   tracer,
 			Spawn: func(rank int, addr string) (func(), error) {
 				cmd := exec.Command(exe, "-dist-rank", strconv.Itoa(rank), "-dist-coord", addr)
 				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
@@ -286,6 +306,16 @@ func main() {
 		fmt.Printf("trained on host with %s: %.4fs (wall-clock, %d worker processes)\n",
 			dinfo.Variant, dinfo.Seconds, dinfo.Workers)
 		fmt.Printf("coordinator exchange traffic: %d bytes\n", dinfo.BroadcastBytes)
+		if tracer != nil {
+			recorded, dropped := tracer.SpanCount()
+			fmt.Printf("trace: %d spans recorded (%d dropped)\n", recorded, dropped)
+			if *spanTraceOut != "" {
+				if err := writeObsFile(*spanTraceOut, tracer.WriteChromeTrace); err != nil {
+					fail(err)
+				}
+				fmt.Printf("span trace written to %s\n", *spanTraceOut)
+			}
+		}
 	} else {
 		m, info, err := core.Train(train, cfg)
 		if err != nil {

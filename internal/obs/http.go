@@ -34,6 +34,15 @@ type DebugConfig struct {
 	// it while the process is alive but should not receive requests yet
 	// (no model installed, checkpoint too stale).
 	Ready func() error
+	// Traces backs GET /debug/traces (nil leaves the route unmounted).
+	// rtrace.Tracer.TracesHandler serves its span ring buffer here as
+	// Chrome trace-event JSON; obs stays decoupled from the tracer by
+	// taking a plain handler.
+	Traces http.Handler
+	// Slowest backs GET /debug/slowest the same way
+	// (rtrace.Tracer.SlowestHandler: the per-endpoint slow-request
+	// flight recorder).
+	Slowest http.Handler
 }
 
 // DebugMux builds the debug route table without binding a listener, so
@@ -68,6 +77,12 @@ func DebugMux(cfg DebugConfig) *http.ServeMux {
 	}
 	mux.HandleFunc("GET /healthz", probe(cfg.Live))
 	mux.HandleFunc("GET /readyz", probe(cfg.Ready))
+	if cfg.Traces != nil {
+		mux.Handle("GET /debug/traces", cfg.Traces)
+	}
+	if cfg.Slowest != nil {
+		mux.Handle("GET /debug/slowest", cfg.Slowest)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -130,6 +130,36 @@ func TestDebugMuxLiveProbe(t *testing.T) {
 	}
 }
 
+// TestDebugMuxTraceMounts: the optional trace handlers mount only when
+// configured, and the mux 404s the routes otherwise.
+func TestDebugMuxTraceMounts(t *testing.T) {
+	status := func(mux http.Handler, path string) int {
+		t.Helper()
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	bare := DebugMux(DebugConfig{})
+	if code := status(bare, "/debug/traces"); code != http.StatusNotFound {
+		t.Errorf("unconfigured /debug/traces = %d, want 404", code)
+	}
+	marker := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("{}"))
+	})
+	wired := DebugMux(DebugConfig{Traces: marker, Slowest: marker})
+	if code := status(wired, "/debug/traces"); code != http.StatusOK {
+		t.Errorf("/debug/traces = %d, want 200", code)
+	}
+	if code := status(wired, "/debug/slowest"); code != http.StatusOK {
+		t.Errorf("/debug/slowest = %d, want 200", code)
+	}
+}
+
 func readerOf(s string) io.Reader { return &stringReader{s: s} }
 
 type stringReader struct{ s string }

@@ -1,0 +1,114 @@
+package rtrace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	tr, _ := newTestTracer(Config{Process: "alsfront"})
+	ctx, root := tr.StartRequest(context.Background(), "recommend", SpanContext{})
+	_, hop := StartChild(ctx, "shard0 /v1/recommend")
+	hop.End()
+	root.SetAttr("code", "200")
+	root.End()
+
+	rec := httptest.NewRecorder()
+	tr.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var sawRoot, sawHop, sawProcess bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			sawProcess = true
+			if ev.Args["name"] != "alsfront" {
+				t.Errorf("process name = %v", ev.Args["name"])
+			}
+		case ev.Ph == "X" && ev.Name == "recommend":
+			sawRoot = true
+			if ev.Args["trace_id"] == "" || ev.Args["span_id"] == "" {
+				t.Errorf("root args missing IDs: %v", ev.Args)
+			}
+			if ev.Args["code"] != "200" {
+				t.Errorf("root attr code = %v", ev.Args["code"])
+			}
+			if ev.Dur <= 0 || ev.TS <= 0 {
+				t.Errorf("root ts/dur = %v/%v", ev.TS, ev.Dur)
+			}
+		case ev.Ph == "X" && ev.Name == "shard0 /v1/recommend":
+			sawHop = true
+			if ev.Args["parent_id"] == "" || ev.Args["parent_id"] == nil {
+				t.Errorf("hop has no parent_id: %v", ev.Args)
+			}
+		}
+	}
+	if !sawRoot || !sawHop || !sawProcess {
+		t.Errorf("events missing: root=%v hop=%v process=%v", sawRoot, sawHop, sawProcess)
+	}
+
+	// JSONL: one valid object per line, IDs consistent with the bundle.
+	rec = httptest.NewRecorder()
+	tr.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=jsonl", nil))
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2:\n%s", len(lines), rec.Body.String())
+	}
+	for _, ln := range lines {
+		var sj spanJSON
+		if err := json.Unmarshal([]byte(ln), &sj); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if sj.Trace != root.TraceID().String() {
+			t.Errorf("line trace = %q, want %q", sj.Trace, root.TraceID())
+		}
+	}
+}
+
+func TestSlowestHandler(t *testing.T) {
+	tr, _ := newTestTracer(Config{Slowest: 4})
+	ctx, root := tr.StartRequest(context.Background(), "recommend", SpanContext{})
+	_, hop := StartChild(ctx, "shard1 /v1/recommend")
+	hop.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	tr.SlowestHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowest", nil))
+	var out map[string][]slowTraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("slowest is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	traces := out["recommend"]
+	if len(traces) != 1 {
+		t.Fatalf("recommend has %d traces, want 1", len(traces))
+	}
+	if traces[0].TraceID != root.TraceID().String() {
+		t.Errorf("trace_id = %q, want %q", traces[0].TraceID, root.TraceID())
+	}
+	if len(traces[0].Spans) != 2 {
+		t.Errorf("breakdown has %d spans, want 2", len(traces[0].Spans))
+	}
+
+	// A nil tracer yields nil handlers, which DebugMux leaves unmounted.
+	var nilTr *Tracer
+	if nilTr.TracesHandler() != nil || nilTr.SlowestHandler() != nil {
+		t.Error("nil tracer returned non-nil handlers")
+	}
+}

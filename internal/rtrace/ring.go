@@ -1,0 +1,110 @@
+package rtrace
+
+import (
+	"sync"
+	"time"
+)
+
+// ring is a fixed-capacity overwrite-oldest buffer of finished spans. The
+// tracer counts overwrites into als_trace_spans_dropped_total, so a scrape
+// cadence too slow for the traffic is visible rather than silent.
+type ring struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int  // index the next span lands in
+	wrap bool // buf has wrapped at least once
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]SpanRecord, capacity)}
+}
+
+// push appends spans, returning how many old spans were overwritten.
+func (r *ring) push(spans []SpanRecord) (dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range spans {
+		if r.wrap {
+			dropped++
+		}
+		r.buf[r.next] = s
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+			r.wrap = true
+		}
+	}
+	return dropped
+}
+
+// snapshot copies the buffered spans, oldest first.
+func (r *ring) snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrap {
+		return append([]SpanRecord(nil), r.buf[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// SlowTrace is one retained trace in the flight recorder: the root's
+// identity plus the full per-hop breakdown.
+type SlowTrace struct {
+	Trace    TraceID
+	Endpoint string // the root span's name
+	Start    time.Time
+	Dur      time.Duration
+	Spans    []SpanRecord
+}
+
+// flight is the tail-based recorder: per endpoint (root span name) it keeps
+// the n slowest finished traces regardless of head sampling — the requests
+// worth explaining are exactly the ones that must never be dropped.
+type flight struct {
+	mu sync.Mutex
+	n  int
+	by map[string][]SlowTrace // sorted slowest-first
+}
+
+func newFlight(n int) *flight {
+	return &flight{n: n, by: make(map[string][]SlowTrace)}
+}
+
+func (f *flight) record(root SpanRecord, spans []SpanRecord) {
+	st := SlowTrace{Trace: root.Trace, Endpoint: root.Name, Start: root.Start, Dur: root.Dur, Spans: spans}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lst := f.by[root.Name]
+	if len(lst) == f.n && st.Dur <= lst[len(lst)-1].Dur {
+		return
+	}
+	// Insertion sort into the short slowest-first list.
+	pos := len(lst)
+	for pos > 0 && lst[pos-1].Dur < st.Dur {
+		pos--
+	}
+	lst = append(lst, SlowTrace{})
+	copy(lst[pos+1:], lst[pos:])
+	lst[pos] = st
+	if len(lst) > f.n {
+		lst = lst[:f.n]
+	}
+	f.by[root.Name] = lst
+}
+
+// Slowest returns the flight recorder's contents: endpoint → slowest-first
+// retained traces. Nil when the recorder is disabled.
+func (t *Tracer) Slowest() map[string][]SlowTrace {
+	if t == nil || t.flight == nil {
+		return nil
+	}
+	t.flight.mu.Lock()
+	defer t.flight.mu.Unlock()
+	out := make(map[string][]SlowTrace, len(t.flight.by))
+	for ep, lst := range t.flight.by {
+		out[ep] = append([]SlowTrace(nil), lst...)
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/quant"
+	"repro/internal/rtrace"
 	"repro/internal/sparse"
 )
 
@@ -35,6 +37,14 @@ type Config struct {
 	// Lambda is the fold-in regularization used when neither the request
 	// nor the model's Meta supplies one (default 0.1).
 	Lambda float32
+	// Tracer, when set, records request spans: a middleware root (or a
+	// child of the inbound traceparent context) per endpoint with children
+	// for cache lookup, the top-N scan, the fold-in solve and snapshot
+	// swaps. Nil disables tracing with zero per-request cost.
+	Tracer *rtrace.Tracer
+	// SlowLog, when positive, logs requests at or above this duration with
+	// their trace ID, so logs cross-reference /debug/traces.
+	SlowLog time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -99,6 +109,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Telemetry exposes the metric registry (for embedding hosts).
 func (s *Server) Telemetry() *Telemetry { return s.tel }
 
+// Tracer exposes the configured request tracer; nil when tracing is off.
+func (s *Server) Tracer() *rtrace.Tracer { return s.cfg.Tracer }
+
 // Current returns the live snapshot, or nil before the first Swap.
 func (s *Server) Current() *Snapshot { return s.store.Current() }
 
@@ -133,6 +146,8 @@ func (s *Server) SetPrecision(p quant.Precision) { s.store.SetPrecision(p) }
 // fold-in, shard replica scoring — funnel through here, so precision
 // dispatch and the per-precision scan-time histogram live in one place.
 func (s *Server) ScoreTopN(ctx context.Context, sn *Snapshot, x []float32, excluded func(int) bool, n int) ([]metrics.Scored, error) {
+	_, span := rtrace.StartChild(ctx, "scan")
+	span.SetAttr("precision", sn.Precision.String())
 	start := time.Now()
 	var scored []metrics.Scored
 	var err error
@@ -141,6 +156,7 @@ func (s *Server) ScoreTopN(ctx context.Context, sn *Snapshot, x []float32, exclu
 	} else {
 		scored, err = s.scorer.TopN(ctx, x, sn.Model.Y, excluded, n)
 	}
+	span.End()
 	if err == nil {
 		s.tel.ObserveScan(sn.Precision, time.Since(start))
 	}
@@ -154,17 +170,22 @@ func (s *Server) ResponseCache() *Cache { return s.cache }
 // (http.Server.Shutdown) before calling it.
 func (s *Server) Close() { s.scorer.Close() }
 
-// Instrument wraps a handler with admission control (bounded queue, 429 on
-// saturation), the per-request deadline, the in-flight gauge and the
-// latency histogram. Exported so embedding hosts (the shard replica) can
-// put extra endpoints behind the same admission path.
+// Instrument wraps a handler with admission control (bounded queue, 429
+// with Retry-After on saturation), the per-request deadline, the in-flight
+// gauge, the latency histogram and — when a Tracer is configured — the
+// endpoint's trace span, continuing an inbound traceparent context.
+// Exported so embedding hosts (the shard replica) can put extra endpoints
+// behind the same admission path.
 func (s *Server) Instrument(endpoint string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			s.tel.Shed()
+			s.tel.Shed(endpoint)
 			s.tel.Observe(endpoint, http.StatusTooManyRequests, 0)
+			// One second is long enough for the bounded queue to drain at
+			// any realistic service time without parking clients.
+			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, "server saturated, retry later")
 			return
 		}
@@ -174,11 +195,24 @@ func (s *Server) Instrument(endpoint string, h func(http.ResponseWriter, *http.R
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
+		var span *rtrace.Span
+		if s.cfg.Tracer != nil {
+			ctx, span = s.cfg.Tracer.StartRequest(ctx, endpoint, rtrace.Extract(r.Header))
+		}
 
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(ctx))
-		s.tel.Observe(endpoint, sw.code, time.Since(start))
+		d := time.Since(start)
+		s.tel.Observe(endpoint, sw.code, d)
+		if span != nil {
+			span.SetAttr("code", strconv.Itoa(sw.code))
+			span.End()
+		}
+		if s.cfg.SlowLog > 0 && d >= s.cfg.SlowLog {
+			log.Printf("serve: slow request endpoint=%s code=%d dur=%s trace=%s",
+				endpoint, sw.code, d, span.TraceID())
+		}
 	}
 }
 
@@ -270,7 +304,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey{version: sn.Version, seq: sn.Seq, user: u, n: n, prec: sn.Precision}
-	if items, ok := s.cache.Get(key); ok {
+	_, cspan := rtrace.StartChild(r.Context(), "cache.lookup")
+	items, hit := s.cache.Get(key)
+	if cspan != nil {
+		cspan.SetAttr("hit", strconv.FormatBool(hit))
+		cspan.End()
+	}
+	if hit {
 		writeJSON(w, RecommendResponse{Version: sn.Version, Seq: sn.Seq, User: orig,
 			Items: recItems(sn.Model, items, sn.ItemOffset), Cached: true})
 		return
@@ -363,7 +403,9 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be in [1,%d]", s.cfg.MaxN))
 		return
 	}
+	_, fspan := rtrace.StartChild(r.Context(), "foldin.solve")
 	xu, err := sn.Model.FoldInUser(req.Items, req.Ratings, s.foldInLambda(sn.Model, &req))
+	fspan.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -426,7 +468,9 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	_, span := rtrace.StartChild(r.Context(), "swap.install")
 	sn := s.Swap(m, rated, req.Version)
+	span.End()
 	writeJSON(w, SwapResponse{Version: sn.Version, Seq: sn.Seq,
 		Users: m.X.Rows, Items: m.Y.Rows, K: m.K})
 }

@@ -241,8 +241,16 @@ func TestLoadShedding(t *testing.T) {
 	// Saturate the admission queue directly: deterministic, no timing games.
 	s.sem <- struct{}{}
 	s.sem <- struct{}{}
-	if code := getJSON(t, ts.URL+"/v1/recommend?user=0", nil); code != http.StatusTooManyRequests {
-		t.Fatalf("saturated server returned %d, want 429", code)
+	resp, err := http.Get(ts.URL + "/v1/recommend?user=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("429 Retry-After = %q, want \"1\"", ra)
 	}
 	<-s.sem
 	<-s.sem
@@ -250,7 +258,7 @@ func TestLoadShedding(t *testing.T) {
 		t.Fatalf("drained server returned %d", code)
 	}
 	body := fetchMetrics(t, ts)
-	if !strings.Contains(body, "als_shed_total 1") {
+	if !strings.Contains(body, `als_shed_total{endpoint="recommend"} 1`) {
 		t.Fatalf("shed counter missing:\n%s", body)
 	}
 }
@@ -280,13 +288,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		`als_requests_total{endpoint="recommend",code="200"} 2`,
 		`als_requests_total{endpoint="recommend",code="404"} 1`,
-		"als_request_seconds_count 3",
+		`als_request_seconds_count{code="200"} 2`,
+		`als_request_seconds_count{code="404"} 1`,
 		"als_cache_hits_total 1",
 		"als_cache_misses_total 1",
 		`als_model_info{version="vX",seq="1"} 1`,
 		"als_model_swaps_total 1",
 		"als_inflight_requests 0",
-		"als_request_seconds_bucket{le=\"+Inf\"} 3",
+		`als_request_seconds_bucket{code="200",le="+Inf"} 2`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

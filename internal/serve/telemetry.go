@@ -33,10 +33,10 @@ type Telemetry struct {
 	reg *obs.Registry
 
 	requests     *obs.Vec
-	latency      *obs.Metric
+	latency      *obs.Vec
 	scan         *obs.Vec
 	inflight     *obs.Metric
-	shed         *obs.Metric
+	shed         *obs.Vec
 	swaps        *obs.Metric
 	swapRejected *obs.Metric
 
@@ -52,11 +52,11 @@ func NewTelemetry() *Telemetry {
 	t := &Telemetry{
 		reg:      reg,
 		requests: reg.Counter("als_requests_total", "Finished requests by endpoint and status code.", "endpoint", "code"),
-		latency:  reg.Histogram("als_request_seconds", "Request latency.", latencyBuckets).With(),
+		latency:  reg.Histogram("als_request_seconds", "Request latency by status code.", latencyBuckets, "code"),
 		scan: reg.Histogram("als_scan_seconds",
 			"Top-N scan latency (scoring only, no HTTP) by snapshot precision.", scanBuckets, "precision"),
 		inflight: reg.Gauge("als_inflight_requests", "Requests currently being handled.").With(),
-		shed:     reg.Counter("als_shed_total", "Requests rejected with 429 by the admission queue.").With(),
+		shed:     reg.Counter("als_shed_total", "Requests rejected with 429 by the admission queue, by endpoint.", "endpoint"),
 		swaps:    reg.Counter("als_model_swaps_total", "Model hot-swaps since start.").With(),
 		swapRejected: reg.Counter("als_swap_rejected_total",
 			"Candidate models rejected as corrupt or unreadable; the previous snapshot keeps serving.").With(),
@@ -140,10 +140,13 @@ func (t *Telemetry) AttachServer(current func() *Snapshot, cache *Cache) {
 // from an obs.DebugServer or add process-level collectors.
 func (t *Telemetry) Registry() *obs.Registry { return t.reg }
 
-// Observe records one finished request.
+// Observe records one finished request. The status-code label is shared by
+// the counter and the latency histogram (one strconv.Itoa per request), so
+// a 429 spike and its latency profile line up on the same series.
 func (t *Telemetry) Observe(endpoint string, code int, d time.Duration) {
-	t.requests.With(endpoint, strconv.Itoa(code)).Inc()
-	t.latency.Observe(d.Seconds())
+	c := strconv.Itoa(code)
+	t.requests.With(endpoint, c).Inc()
+	t.latency.With(c).Observe(d.Seconds())
 }
 
 // ObserveScan records one completed top-N scan at the given precision.
@@ -155,8 +158,9 @@ func (t *Telemetry) ObserveScan(p quant.Precision, d time.Duration) {
 func (t *Telemetry) IncInflight() { t.inflight.Add(1) }
 func (t *Telemetry) DecInflight() { t.inflight.Add(-1) }
 
-// Shed counts a request rejected by the admission queue (429).
-func (t *Telemetry) Shed() { t.shed.Inc() }
+// Shed counts a request rejected by the admission queue (429) against the
+// endpoint that shed it, so recommend and fold-in pressure are separable.
+func (t *Telemetry) Shed(endpoint string) { t.shed.With(endpoint).Inc() }
 
 // SwapRecorded counts a model hot-swap.
 func (t *Telemetry) SwapRecorded() { t.swaps.Inc() }

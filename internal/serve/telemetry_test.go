@@ -23,7 +23,7 @@ func TestTelemetryExpositionValidates(t *testing.T) {
 	tel := NewTelemetry()
 	tel.Observe("recommend", 200, 3*time.Millisecond)
 	tel.Observe("recommend", 404, time.Millisecond)
-	tel.Shed()
+	tel.Shed("recommend")
 	tel.SwapRecorded()
 	tel.SwapRejected()
 	tel.SwapInstalled(time.Unix(1700000000, 0))
@@ -34,8 +34,9 @@ func TestTelemetryExpositionValidates(t *testing.T) {
 	for _, want := range []string{
 		`als_requests_total{endpoint="recommend",code="200"} 1`,
 		`als_requests_total{endpoint="recommend",code="404"} 1`,
-		"als_request_seconds_count 2",
-		"als_shed_total 1",
+		`als_request_seconds_count{code="200"} 1`,
+		`als_request_seconds_count{code="404"} 1`,
+		`als_shed_total{endpoint="recommend"} 1`,
 		"als_model_swaps_total 1",
 		"als_swap_rejected_total 1",
 		"als_inflight_requests 0",

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/rtrace"
+)
+
+// TestServerTraceSpans drives a traced request through the middleware and
+// checks the span tree: an endpoint root continuing the inbound traceparent
+// context, with cache-lookup and precision-tagged scan children inside the
+// root's time envelope.
+func TestServerTraceSpans(t *testing.T) {
+	tr := rtrace.New(rtrace.Config{Sample: 1, Process: "test"})
+	s := New(Config{Workers: 1, Tracer: tr})
+	t.Cleanup(s.Close)
+	s.Swap(linearModel(1, 2, 64, 2), nil, "")
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	remote := rtrace.SpanContext{Trace: 0xabc123, Span: 0xdef456, Sampled: true}
+	req, err := http.NewRequest("GET", ts.URL+"/v1/recommend?user=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtrace.Inject(req.Header, remote)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	spans := tr.Snapshot()
+	byName := map[string]rtrace.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName["recommend"]
+	if !ok {
+		t.Fatalf("no recommend root span in %d spans", len(spans))
+	}
+	if root.Trace != remote.Trace {
+		t.Errorf("root trace = %v, want remote %v (traceparent not continued)", root.Trace, remote.Trace)
+	}
+	if root.Parent != remote.Span {
+		t.Errorf("root parent = %v, want remote span %v", root.Parent, remote.Span)
+	}
+	attrs := map[string]string{}
+	for _, a := range root.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["code"] != "200" {
+		t.Errorf("root code attr = %q", attrs["code"])
+	}
+	for _, child := range []string{"cache.lookup", "scan"} {
+		c, ok := byName[child]
+		if !ok {
+			t.Errorf("missing %q child span", child)
+			continue
+		}
+		if c.Parent != root.ID {
+			t.Errorf("%q parent = %v, want root %v", child, c.Parent, root.ID)
+		}
+		if c.Start.Before(root.Start) || c.Start.Add(c.Dur).After(root.Start.Add(root.Dur)) {
+			t.Errorf("%q outside the root envelope", child)
+		}
+	}
+	scanAttrs := map[string]string{}
+	for _, a := range byName["scan"].Attrs {
+		scanAttrs[a.Key] = a.Value
+	}
+	if scanAttrs["precision"] != "f32" {
+		t.Errorf("scan precision attr = %q, want f32", scanAttrs["precision"])
+	}
+
+	// An unsampled inbound context suppresses the whole tree.
+	before := len(tr.Snapshot())
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/recommend?user=0", nil)
+	rtrace.Inject(req.Header, rtrace.SpanContext{Trace: 1, Span: 2, Sampled: false})
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := len(tr.Snapshot()); got != before {
+		t.Errorf("unsampled request added %d spans", got-before)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/rtrace"
 	"repro/internal/serve"
 )
 
@@ -42,6 +44,14 @@ type FrontendConfig struct {
 	// Lambda is the fold-in regularization fallback when neither the
 	// request nor the shards' model metadata supplies one (default 0.1).
 	Lambda float32
+	// Tracer, when set, records one root span per frontend request with a
+	// child span per shard hop (the context rides the traceparent header,
+	// so shard-side spans join the same trace) plus merge and fold-in
+	// phase spans. Nil disables tracing with zero per-request cost.
+	Tracer *rtrace.Tracer
+	// SlowLog, when positive, logs requests at or above this duration
+	// with their trace ID.
+	SlowLog time.Duration
 }
 
 func (c *FrontendConfig) setDefaults() {
@@ -85,7 +95,7 @@ type Frontend struct {
 	reg       *obs.Registry
 	partial   *obs.Metric
 	requests  *obs.Vec
-	latency   *obs.Metric
+	latency   *obs.Vec
 	shardReqs *obs.Vec
 }
 
@@ -116,7 +126,8 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	f.requests = f.reg.Counter("als_front_requests_total",
 		"Frontend requests by endpoint and status code.", "endpoint", "code")
 	f.latency = f.reg.Histogram("als_front_request_seconds",
-		"Frontend request latency.", frontLatencyBuckets).With()
+		"Frontend request latency by status code.", frontLatencyBuckets, "code")
+	cfg.Tracer.Register(f.reg)
 	f.shardReqs = f.reg.Counter("als_front_shard_requests_total",
 		"Fan-out legs by shard and outcome.", "shard", "outcome")
 	f.reg.Func("als_front_shard_up",
@@ -155,14 +166,36 @@ func (f *Frontend) Handler() http.Handler { return f.mux }
 // Registry exposes the frontend's metrics (for embedding hosts).
 func (f *Frontend) Registry() *obs.Registry { return f.reg }
 
-// timed wraps a handler with the request counter and latency histogram.
+// timed wraps a handler with the request counter, the latency histogram
+// and — when a Tracer is configured — the request's root span (continuing
+// an inbound traceparent context). The status-code label is shared by the
+// counter and the histogram: one strconv.Itoa per request, so tracing off
+// adds no allocations over the untraced path.
 func (f *Frontend) timed(endpoint string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var span *rtrace.Span
+		if f.cfg.Tracer != nil {
+			var ctx context.Context
+			ctx, span = f.cfg.Tracer.StartRequest(r.Context(), endpoint, rtrace.Extract(r.Header))
+			if span != nil {
+				r = r.WithContext(ctx)
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		f.requests.With(endpoint, strconv.Itoa(sw.code)).Inc()
-		f.latency.Observe(time.Since(start).Seconds())
+		d := time.Since(start)
+		code := strconv.Itoa(sw.code)
+		f.requests.With(endpoint, code).Inc()
+		f.latency.With(code).Observe(d.Seconds())
+		if span != nil {
+			span.SetAttr("code", code)
+			span.End()
+		}
+		if f.cfg.SlowLog > 0 && d >= f.cfg.SlowLog {
+			log.Printf("alsfront: slow request endpoint=%s code=%s dur=%s trace=%s",
+				endpoint, code, d, span.TraceID())
+		}
 	}
 }
 
@@ -270,7 +303,7 @@ func (f *Frontend) getJSON(ctx context.Context, i int, path string, out any) err
 	if err != nil {
 		return err
 	}
-	return f.doJSON(req, out)
+	return f.doJSON(ctx, i, req, out)
 }
 
 // postJSON POSTs body to path on shard i and decodes the response.
@@ -284,15 +317,31 @@ func (f *Frontend) postJSON(ctx context.Context, i int, path string, body, out a
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return f.doJSON(req, out)
+	return f.doJSON(ctx, i, req, out)
 }
 
-func (f *Frontend) doJSON(req *http.Request, out any) error {
+// doJSON runs one fan-out leg. On a traced request it opens a per-hop child
+// span ("shard<i> <path>") and injects its context into the outbound
+// traceparent header, so the shard's own middleware span joins the trace.
+func (f *Frontend) doJSON(ctx context.Context, i int, req *http.Request, out any) error {
+	var hop *rtrace.Span
+	if rtrace.Active(ctx) {
+		_, hop = rtrace.StartChild(ctx, "shard"+strconv.Itoa(i)+" "+req.URL.Path)
+		hop.SetAttr("shard", strconv.Itoa(i))
+		rtrace.Inject(req.Header, hop.Context())
+		defer hop.End()
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
+		if hop != nil {
+			hop.SetAttr("error", err.Error())
+		}
 		return err
 	}
 	defer resp.Body.Close()
+	if hop != nil {
+		hop.SetAttr("code", strconv.Itoa(resp.StatusCode))
+	}
 	if resp.StatusCode/100 != 2 {
 		msg := fmt.Sprintf("shard replied %d", resp.StatusCode)
 		var e struct {
@@ -408,7 +457,9 @@ func (f *Frontend) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		failAllShards(w, errs)
 		return
 	}
+	_, mspan := rtrace.StartChild(r.Context(), "merge")
 	merged, version, seq := mergeItems(results, n)
+	mspan.End()
 	resp := RecommendResponse{
 		RecommendResponse: serve.RecommendResponse{
 			Version: version, Seq: seq, User: user, Items: merged,
@@ -479,10 +530,12 @@ func (f *Frontend) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Phase 1: gather partial normal equations.
+	// Phase 1: gather partial normal equations. Each phase runs under its
+	// own span so its per-shard hop spans nest beneath it.
 	partials := make([]*PartialsResponse, len(f.shards))
 	preq := PartialsRequest{Items: req.Items, Ratings: req.Ratings}
-	errs := f.scatter(r.Context(), func(ctx context.Context, i int) error {
+	pctx, pspan := rtrace.StartChild(r.Context(), "foldin.partials")
+	errs := f.scatter(pctx, func(ctx context.Context, i int) error {
 		var resp PartialsResponse
 		if err := f.postJSON(ctx, i, "/shard/v1/partials", preq, &resp); err != nil {
 			return err
@@ -490,6 +543,7 @@ func (f *Frontend) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 		partials[i] = &resp
 		return nil
 	})
+	pspan.End()
 	ok := countOK(errs)
 	if ok == 0 {
 		failAllShards(w, errs)
@@ -534,22 +588,26 @@ func (f *Frontend) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 	// Keep pristine copies: a rejected Cholesky clobbers its inputs.
 	pcopy := append([]float32(nil), packed...)
 	rcopy := append([]float32(nil), rhs...)
+	_, sspan := rtrace.StartChild(r.Context(), "foldin.solve")
 	linalg.AddDiagPacked(packed, k, lam)
 	xu := rhs
 	if err := linalg.CholeskySolvePacked(packed, k, xu); err != nil {
 		linalg.AddDiagPacked(pcopy, k, lam)
 		if err := linalg.LDLSolvePacked(pcopy, k, rcopy, make([]float64, k)); err != nil {
+			sspan.End()
 			httpError(w, http.StatusBadGateway, "fold-in solve: "+err.Error())
 			return
 		}
 		xu = rcopy
 	}
+	sspan.End()
 
 	// Phase 2: scatter the solved factor for scoring (the user's own rated
 	// items excluded, as in the single-process path).
 	scores := make([]*serve.RecommendResponse, len(f.shards))
 	sreq := ScoreRequest{X: xu, N: req.N, Exclude: req.Items}
-	errs = f.scatter(r.Context(), func(ctx context.Context, i int) error {
+	scctx, scspan := rtrace.StartChild(r.Context(), "foldin.score")
+	errs = f.scatter(scctx, func(ctx context.Context, i int) error {
 		var resp ScoreResponse
 		if err := f.postJSON(ctx, i, "/shard/v1/score", sreq, &resp); err != nil {
 			return err
@@ -557,6 +615,7 @@ func (f *Frontend) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 		scores[i] = &serve.RecommendResponse{Version: resp.Version, Seq: resp.Seq, Items: resp.Items}
 		return nil
 	})
+	scspan.End()
 	ok = countOK(errs)
 	if ok == 0 {
 		failAllShards(w, errs)
@@ -569,12 +628,16 @@ func (f *Frontend) handleFoldIn(w http.ResponseWriter, r *http.Request) {
 	// deadline — so a recovering replica cannot serve the user's pre-write
 	// recommendations out of its LRU.
 	if req.User != nil {
-		f.scatter(r.Context(), func(ctx context.Context, i int) error {
+		puctx, puspan := rtrace.StartChild(r.Context(), "foldin.purge")
+		f.scatter(puctx, func(ctx context.Context, i int) error {
 			return f.postJSON(ctx, i, "/shard/v1/purge", PurgeRequest{User: *req.User}, nil)
 		})
+		puspan.End()
 	}
 
+	_, mspan := rtrace.StartChild(r.Context(), "merge")
 	merged, version, seq := mergeItems(scores, req.N)
+	mspan.End()
 	resp := FoldInResponse{
 		FoldInResponse: serve.FoldInResponse{Version: version, Seq: seq, Items: merged},
 		Partial:        degraded, ShardsOK: ok, Shards: len(f.shards),

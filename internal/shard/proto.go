@@ -16,10 +16,12 @@ import (
 // row count, k) and then rows·k raw little-endian float32s, so a full
 // factor matrix moves as one frame with no per-row framing.
 const (
-	frameHello   byte = 1 // worker → coordinator: uint32 rank
-	frameConfig  byte = 2 // coordinator → worker: JSON workerConfig
-	frameFactors byte = 3 // either direction: factorHeader + float32 payload
-	frameError   byte = 4 // worker → coordinator: UTF-8 failure message
+	frameHello    byte = 1 // worker → coordinator: uint32 rank
+	frameConfig   byte = 2 // coordinator → worker: JSON workerConfig
+	frameFactors  byte = 3 // either direction: factorHeader + float32 payload
+	frameError    byte = 4 // worker → coordinator: UTF-8 failure message
+	frameTraceCtx byte = 5 // coordinator → worker: rtrace binary span context (17 bytes)
+	frameSpans    byte = 6 // worker → coordinator: rtrace.EncodeSpans payload
 )
 
 // maxSmallFrame bounds hello/config/error bodies; factor frames are bounded

@@ -1,10 +1,12 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/obs"
 	"repro/internal/quant"
+	"repro/internal/rtrace"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -132,6 +135,14 @@ type TrainerConfig struct {
 	// relayed through the coordinator (worker shards in, assembled
 	// factors out, frame headers included).
 	Registry *obs.Registry
+
+	// Tracer, when set and sampling the run, records a root "train" span
+	// with per-half-iteration gather/broadcast children (one wait span per
+	// rank, so the straggler is visible), tells every worker to trace its
+	// own compute/gather/broadcast spans, and ingests those spans when the
+	// workers ship them back over a frameSpans TCP frame at the end of the
+	// run.
+	Tracer *rtrace.Tracer
 }
 
 // TrainInfo reports how a distributed run went.
@@ -160,6 +171,10 @@ type workerConfig struct {
 	Threads        int      `json:"threads"`
 	StartIteration int      `json:"start_iteration"`
 	Data           DataSpec `json:"data"`
+	// Trace tells the worker a frameTraceCtx follows the config and that it
+	// must record per-half compute/gather/broadcast spans and ship them
+	// back over frameSpans after the final iteration.
+	Trace bool `json:"trace,omitempty"`
 }
 
 func (cfg *TrainerConfig) setDefaults() {
@@ -293,6 +308,14 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 		}
 	}()
 
+	// Head-sample the run: a sampled run traces the coordinator's exchange
+	// spans and tells every worker to trace (and later ship) its own.
+	runCtx, root := cfg.Tracer.StartRequest(context.Background(), "train", rtrace.SpanContext{})
+	if root != nil {
+		root.SetAttr("workers", strconv.Itoa(cfg.Workers))
+		root.SetAttr("variant", vname)
+	}
+
 	for rank, wc := range conns {
 		wcfg := workerConfig{
 			Workers: cfg.Workers, Rank: rank,
@@ -300,6 +323,7 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 			WeightedLambda: cfg.WeightedLambda, Flat: cfg.Flat,
 			VariantID: cfg.Variant.ID(), Threads: cfg.Threads,
 			StartIteration: start, Data: cfg.Data,
+			Trace: root != nil,
 		}
 		body, err := json.Marshal(wcfg)
 		if err != nil {
@@ -307,6 +331,11 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 		}
 		if err := wc.writeSmall(frameConfig, body); err != nil {
 			return nil, nil, fmt.Errorf("shard: sending config to worker %d: %w", rank, err)
+		}
+		if root != nil {
+			if err := wc.writeSmall(frameTraceCtx, root.Context().AppendBinary(nil)); err != nil {
+				return nil, nil, fmt.Errorf("shard: sending trace context to worker %d: %w", rank, err)
+			}
 		}
 		if start > 0 {
 			// Seed resumed workers with the checkpointed factors; fresh
@@ -330,10 +359,10 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 	}
 	trainStart := time.Now()
 	for it := start + 1; it <= cfg.Iterations; it++ {
-		if err := relayHalf(conns, it, halfX, m, k, x.Data, cfg.Timeout); err != nil {
+		if err := relayHalfTraced(runCtx, conns, it, "x", halfX, m, k, x.Data, cfg.Timeout); err != nil {
 			return nil, nil, fmt.Errorf("shard: iteration %d X half: %w", it, err)
 		}
-		if err := relayHalf(conns, it, halfY, n, k, y.Data, cfg.Timeout); err != nil {
+		if err := relayHalfTraced(runCtx, conns, it, "y", halfY, n, k, y.Data, cfg.Timeout); err != nil {
 			return nil, nil, fmt.Errorf("shard: iteration %d Y half: %w", it, err)
 		}
 		if cfg.CheckpointDir != "" && (it%every == 0 || it == cfg.Iterations) {
@@ -350,6 +379,24 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 				return nil, nil, fmt.Errorf("shard: iteration %d checkpoint GC: %w", it, err)
 			}
 		}
+	}
+	if root != nil {
+		// Workers ship their span bundles after the final broadcast; the
+		// stream is ordered, so one frameSpans per worker follows the last
+		// factor frame with nothing in between.
+		for rank, wc := range conns {
+			wc.c.SetReadDeadline(time.Now().Add(cfg.Timeout))
+			kind, body, err := wc.readSmall()
+			if err != nil || kind != frameSpans {
+				return nil, nil, fmt.Errorf("shard: reading spans from worker %d (kind=%d): %v", rank, kind, err)
+			}
+			spans, err := rtrace.DecodeSpans(body)
+			if err != nil {
+				return nil, nil, fmt.Errorf("shard: decoding spans from worker %d: %w", rank, err)
+			}
+			cfg.Tracer.Ingest(spans)
+		}
+		root.End()
 	}
 	info.Seconds = time.Since(trainStart).Seconds()
 	info.BroadcastBytes = traffic.Load()
@@ -397,16 +444,47 @@ func acceptWorkers(lis net.Listener, workers int, timeout time.Duration, traffic
 	return conns, nil
 }
 
+// relayHalfTraced wraps relayHalf in an "iterN/half" span with gather and
+// broadcast children when ctx carries the run's root span; the gather span
+// gets one wait child per rank, so the straggling worker is the one whose
+// wait dominates.
+func relayHalfTraced(ctx context.Context, conns []*wire, it int, halfName string, half byte, rows, k int, dst []float32, timeout time.Duration) error {
+	if !rtrace.Active(ctx) {
+		return relayHalf(nil, conns, it, half, rows, k, dst, timeout)
+	}
+	hctx, span := rtrace.StartChild(ctx, fmt.Sprintf("iter%d/%s", it, halfName))
+	err := relayHalf(hctx, conns, it, half, rows, k, dst, timeout)
+	span.End()
+	return err
+}
+
 // relayHalf runs one half-iteration exchange: gather every worker's
-// contiguous shard into dst, then broadcast the assembled side back.
-func relayHalf(conns []*wire, it int, half byte, rows, k int, dst []float32, timeout time.Duration) error {
+// contiguous shard into dst, then broadcast the assembled side back. A
+// non-nil ctx with an active span records the gather and broadcast phases.
+func relayHalf(ctx context.Context, conns []*wire, it int, half byte, rows, k int, dst []float32, timeout time.Duration) error {
 	workers := len(conns)
+	var gctx context.Context = context.Background()
+	var gather *rtrace.Span
+	if ctx != nil {
+		gctx, gather = rtrace.StartChild(ctx, "gather")
+	}
 	for rank, wc := range conns {
 		lo, hi := Range(rows, rank, workers)
 		wc.c.SetReadDeadline(time.Now().Add(timeout))
-		if err := wc.expectFactors(it, half, k, dst, lo, hi-lo); err != nil {
+		var wait *rtrace.Span
+		if gather != nil {
+			_, wait = rtrace.StartChild(gctx, "wait worker"+strconv.Itoa(rank))
+		}
+		err := wc.expectFactors(it, half, k, dst, lo, hi-lo)
+		wait.End()
+		if err != nil {
 			return fmt.Errorf("worker %d: %w", rank, err)
 		}
+	}
+	gather.End()
+	var bcast *rtrace.Span
+	if ctx != nil {
+		_, bcast = rtrace.StartChild(ctx, "broadcast")
 	}
 	h := factorHeader{Iter: uint32(it), Half: half, Lo: 0, Rows: uint32(rows), K: uint32(k)}
 	for rank, wc := range conns {
@@ -414,6 +492,7 @@ func relayHalf(conns []*wire, it int, half byte, rows, k int, dst []float32, tim
 			return fmt.Errorf("worker %d: %w", rank, err)
 		}
 	}
+	bcast.End()
 	return nil
 }
 
@@ -472,6 +551,32 @@ func RunWorker(coordAddr string, rank int) error {
 		return fmt.Errorf("shard: worker %d received config for rank %d", rank, cfg.Rank)
 	}
 
+	// A traced run sends its span context right after the config; the worker
+	// records its own compute/gather/broadcast spans into a local sample-1.0
+	// tracer and ships them back over frameSpans after the final iteration.
+	var wtr *rtrace.Tracer
+	wctx := context.Background()
+	var wroot *rtrace.Span
+	if cfg.Trace {
+		kind, body, err := w.readSmall()
+		if err != nil || kind != frameTraceCtx {
+			return fmt.Errorf("shard: worker %d: expected trace context frame (kind=%d): %v", rank, kind, err)
+		}
+		remote, err := rtrace.ContextFromBinary(body)
+		if err != nil {
+			return fmt.Errorf("shard: worker %d: bad trace context: %w", rank, err)
+		}
+		iters := cfg.Iterations - cfg.StartIteration
+		wtr = rtrace.New(rtrace.Config{
+			Sample:   1,
+			Capacity: iters*8 + 16,
+			Slowest:  -1,
+			Process:  "alstrain-worker" + strconv.Itoa(rank),
+		})
+		wctx, wroot = wtr.StartRequest(wctx, "worker"+strconv.Itoa(rank), remote)
+		wroot.SetAttr("worker", strconv.Itoa(rank))
+	}
+
 	// From here on, failures are reported to the coordinator before
 	// returning, so the whole run dies with the worker's message instead
 	// of a bare connection reset.
@@ -513,24 +618,64 @@ func RunWorker(coordAddr string, rank int) error {
 	lo, hi := Range(m, rank, cfg.Workers)
 	ylo, yhi := Range(n, rank, cfg.Workers)
 	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
-		if err := ru.UpdateRange(mx.R, y, x, lo, hi, it, true); err != nil {
+		hctx, hspan := workerHalfSpan(wctx, wroot, it, "x")
+		_, cspan := rtrace.StartChild(hctx, "compute")
+		err := ru.UpdateRange(mx.R, y, x, lo, hi, it, true)
+		cspan.End()
+		if err != nil {
 			return fail(fmt.Errorf("worker %d iteration %d X: %w", rank, it, err))
 		}
-		if err := w.writeFactors(factorHeader{Iter: uint32(it), Half: halfX, Lo: uint32(lo), Rows: uint32(hi - lo), K: uint32(k)}, x.Data[lo*k:hi*k]); err != nil {
+		_, gspan := rtrace.StartChild(hctx, "gather")
+		err = w.writeFactors(factorHeader{Iter: uint32(it), Half: halfX, Lo: uint32(lo), Rows: uint32(hi - lo), K: uint32(k)}, x.Data[lo*k:hi*k])
+		gspan.End()
+		if err != nil {
 			return err
 		}
-		if err := w.expectFactors(it, halfX, k, x.Data, 0, m); err != nil {
+		_, bspan := rtrace.StartChild(hctx, "broadcast")
+		err = w.expectFactors(it, halfX, k, x.Data, 0, m)
+		bspan.End()
+		hspan.End()
+		if err != nil {
 			return err
 		}
-		if err := ru.UpdateRange(rt, x, y, ylo, yhi, it, false); err != nil {
+
+		hctx, hspan = workerHalfSpan(wctx, wroot, it, "y")
+		_, cspan = rtrace.StartChild(hctx, "compute")
+		err = ru.UpdateRange(rt, x, y, ylo, yhi, it, false)
+		cspan.End()
+		if err != nil {
 			return fail(fmt.Errorf("worker %d iteration %d Y: %w", rank, it, err))
 		}
-		if err := w.writeFactors(factorHeader{Iter: uint32(it), Half: halfY, Lo: uint32(ylo), Rows: uint32(yhi - ylo), K: uint32(k)}, y.Data[ylo*k:yhi*k]); err != nil {
+		_, gspan = rtrace.StartChild(hctx, "gather")
+		err = w.writeFactors(factorHeader{Iter: uint32(it), Half: halfY, Lo: uint32(ylo), Rows: uint32(yhi - ylo), K: uint32(k)}, y.Data[ylo*k:yhi*k])
+		gspan.End()
+		if err != nil {
 			return err
 		}
-		if err := w.expectFactors(it, halfY, k, y.Data, 0, n); err != nil {
+		_, bspan = rtrace.StartChild(hctx, "broadcast")
+		err = w.expectFactors(it, halfY, k, y.Data, 0, n)
+		bspan.End()
+		hspan.End()
+		if err != nil {
 			return err
 		}
 	}
+	if wroot != nil {
+		wroot.End()
+		if err := w.writeSmall(frameSpans, rtrace.EncodeSpans(wtr.Snapshot())); err != nil {
+			return fmt.Errorf("shard: worker %d sending spans: %w", rank, err)
+		}
+	}
 	return nil
+}
+
+// workerHalfSpan opens a traced worker's per-half-iteration span; untraced
+// runs get the untouched context and a nil span back, so the per-phase
+// StartChild calls below it all no-op.
+func workerHalfSpan(ctx context.Context, root *rtrace.Span, it int, half string) (context.Context, *rtrace.Span) {
+	if root == nil {
+		return ctx, nil
+	}
+	hctx, span := rtrace.StartChild(ctx, "iter"+strconv.Itoa(it)+"/"+half)
+	return hctx, span
 }
