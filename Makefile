@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-capture bench-capture-modes ci obs-smoke chaos-smoke dist-smoke quant-smoke implicit-smoke trace-smoke experiments examples kernels serve clean
+.PHONY: all build test test-short bench bench-capture bench-capture-modes ci obs-smoke chaos-smoke dist-smoke fault-smoke quant-smoke implicit-smoke trace-smoke experiments examples kernels serve clean
 
 all: build test
 
@@ -28,8 +28,11 @@ test-short:
 # lane (a real implicit alstrain run through the CG and iALS++ fast paths
 # with a recall@10 floor and per-mode stage metrics), the trace smoke lane
 # (a fully-sampled 2-shard fleet whose /debug/traces must export Chrome
-# trace JSON with a shard hop child under every frontend root span), and a
-# one-shot bench smoke so benchmark code cannot rot unnoticed.
+# trace JSON with a shard hop child under every frontend root span), the
+# fault smoke lane (SIGKILL a worker mid-iteration and still match the
+# clean run's bytes; graceful SIGTERM with a resumable checkpoint; no
+# orphans after a coordinator SIGKILL), and a one-shot bench smoke so
+# benchmark code cannot rot unnoticed.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -42,6 +45,7 @@ ci:
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) dist-smoke
+	$(MAKE) fault-smoke
 	$(MAKE) quant-smoke
 	$(MAKE) implicit-smoke
 	$(MAKE) trace-smoke
@@ -84,6 +88,15 @@ implicit-smoke:
 # All processes are killed by test cleanup even on failure — no orphans.
 dist-smoke:
 	$(GO) test -run TestDistSmoke -count=1 ./internal/shard
+
+# Fault smoke: through the real alstrain binary, SIGKILL a worker
+# mid-iteration and require the run to finish by respawning it with the
+# model byte-identical to a clean run and a nonzero respawn counter on
+# /metrics; SIGTERM the coordinator and require a resumable checkpoint,
+# exit code 3, no orphan workers, and a -resume rerun matching the clean
+# bytes; SIGKILL the coordinator and require every worker to self-terminate.
+fault-smoke:
+	$(GO) test -run TestFaultSmoke -count=1 ./internal/shard
 
 # Trace smoke: through the real binaries, boot two alsserve shard replicas
 # behind an alsfront sampling every request (-trace-sample 1.0), drive

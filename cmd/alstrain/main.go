@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -30,6 +35,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/rtrace"
 	"repro/internal/shard"
+	"repro/internal/shard/chaosnet"
 	"repro/internal/variant"
 )
 
@@ -70,6 +76,10 @@ func main() {
 	threads := flag.Int("threads", 0, "solver goroutines per distributed worker process (0 = GOMAXPROCS; only with -workers)")
 	distRank := flag.Int("dist-rank", -1, "internal: run as distributed worker with this rank (set by the -workers coordinator)")
 	distCoord := flag.String("dist-coord", "", "internal: coordinator address for -dist-rank")
+	maxRespawns := flag.Int("max-respawns", 3, "with -workers: total failed-worker respawns before the run elastically downscales to the survivors (negative disables respawning)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", time.Second, "with -workers: worker liveness heartbeat period (hung workers are detected after ~5x this; <0 disables)")
+	roundTimeout := flag.Duration("round-timeout", 0, "with -workers: deadline for one gather round before the lagging workers are declared failed (0 = the 10-minute exchange default)")
+	netChaos := flag.String("net-chaos", "", "with -workers: inject deterministic network faults into the exchange, e.g. sever=1:in:3,corrupt=0:out:2,delay=1:in:4:2s,seed=7 (tests the supervision layer)")
 	traceSample := flag.Float64("trace-sample", 0, "with -workers: head-sample the run into a span trace — coordinator gather/broadcast spans plus each worker's compute/gather/broadcast spans shipped back over the exchange protocol; browse at -debug-addr's /debug/traces or export with -span-trace-out")
 	spanTraceOut := flag.String("span-trace-out", "", "with -trace-sample: write the collected span trace as Chrome trace-event JSON to this file after training")
 	var prof obs.ProfileFlags
@@ -134,6 +144,9 @@ func main() {
 	}
 	if *spanTraceOut != "" && tracer == nil {
 		fail(fmt.Errorf("-span-trace-out needs -trace-sample"))
+	}
+	if *netChaos != "" && *workers <= 0 {
+		fail(fmt.Errorf("-net-chaos injects faults into the distributed exchange and needs -workers"))
 	}
 	var reg *obs.Registry
 	if *debugAddr != "" {
@@ -249,6 +262,25 @@ func main() {
 		cfg.Variant = v
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM closes the Interrupt channel; the
+	// run stops at the next iteration boundary after writing a final
+	// checkpoint, so nothing computed so far is lost.
+	ictx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cfg.Interrupt = ictx.Done()
+	failOrResumable := func(err error) {
+		if !errors.Is(err, shard.ErrInterrupted) && !errors.Is(err, core.ErrInterrupted) {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "alstrain:", err)
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "alstrain: interrupted run is resumable: rerun with the same flags plus -resume (checkpoints in %s)\n", *ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "alstrain: run stopped at an iteration boundary; add -checkpoint-dir to make interrupted runs resumable")
+		}
+		os.Exit(3)
+	}
+
 	var model *core.Model
 	if *workers > 0 {
 		// Distributed data-parallel training: fork -workers copies of this
@@ -280,28 +312,51 @@ func main() {
 			},
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 			CheckpointKeep: *ckptKeep, CheckpointPrecision: ckPrec,
-			Resume:   *resume,
-			Registry: reg,
-			Tracer:   tracer,
+			Resume:            *resume,
+			Registry:          reg,
+			Tracer:            tracer,
+			HeartbeatInterval: *heartbeatInterval,
+			RoundTimeout:      *roundTimeout,
+			Interrupt:         ictx.Done(),
+			Logf:              log.Printf,
 			Spawn: func(rank int, addr string) (func(), error) {
 				cmd := exec.Command(exe, "-dist-rank", strconv.Itoa(rank), "-dist-coord", addr)
 				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 				if err := cmd.Start(); err != nil {
 					return nil, err
 				}
+				// The PID line lets operators (and the fault-injection smoke
+				// test) target a specific worker.
+				fmt.Printf("worker %d pid %d\n", rank, cmd.Process.Pid)
 				return func() { cmd.Process.Kill(); cmd.Wait() }, nil
 			},
+		}
+		if *maxRespawns <= 0 {
+			dcfg.MaxRespawns = -1 // 0 and negative both mean "never respawn"
+		} else {
+			dcfg.MaxRespawns = *maxRespawns
+		}
+		if *netChaos != "" {
+			plan, err := chaosnet.ParsePlan(*netChaos)
+			if err != nil {
+				fail(err)
+			}
+			dcfg.NetChaos = plan
 		}
 		if *variantID != "" {
 			dcfg.Variant = cfg.Variant
 		}
 		m, dinfo, err := shard.Train(train, dcfg)
 		if err != nil {
-			fail(err)
+			failOrResumable(err)
 		}
 		model = m
 		if dinfo.ResumedFrom > 0 {
 			fmt.Printf("resumed from checkpoint at iteration %d\n", dinfo.ResumedFrom)
+		}
+		if dinfo.Failures > 0 {
+			fmt.Printf("supervision: %d worker failures, %d respawns, %d downscales (finished on %d workers)\n",
+				dinfo.Failures, dinfo.Respawns, dinfo.Downscales, dinfo.FinalWorkers)
 		}
 		fmt.Printf("trained on host with %s: %.4fs (wall-clock, %d worker processes)\n",
 			dinfo.Variant, dinfo.Seconds, dinfo.Workers)
@@ -319,7 +374,7 @@ func main() {
 	} else {
 		m, info, err := core.Train(train, cfg)
 		if err != nil {
-			fail(err)
+			failOrResumable(err)
 		}
 		model = m
 		if info.ResumedFrom > 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"strings"
@@ -340,5 +341,58 @@ func TestCheckpointConfigValidation(t *testing.T) {
 	}
 	if _, it, err := checkpoint.Latest(checkpoint.OS, dir); err != nil || it != 1 {
 		t.Fatalf("real-FS checkpoint: iter %d, %v", it, err)
+	}
+}
+
+// TestInterruptGraceful: closing Config.Interrupt stops the run at the next
+// iteration boundary with ErrInterrupted and a resumable checkpoint — even
+// when the checkpoint stride would have skipped that iteration — and the
+// resumed run reaches factors bit-identical to an uninterrupted one.
+func TestInterruptGraceful(t *testing.T) {
+	mx := ckptMatrix(t)
+	base := Config{K: 4, Lambda: 0.1, Iterations: 4, Seed: 7}
+	straight, _, err := Train(mx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch := make(chan struct{})
+	close(ch)
+	fsys := checkpoint.NewMemFS()
+	cfg := base
+	cfg.CheckpointDir = "ckpts"
+	cfg.CheckpointFS = fsys
+	cfg.CheckpointEvery = 3 // iteration 1 would not checkpoint on stride alone
+	cfg.Interrupt = ch
+	_, _, err = Train(mx, cfg)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	st, _, err := checkpoint.LoadLatest(fsys, "ckpts")
+	if err != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", err)
+	}
+	if st.Iteration != 1 {
+		t.Fatalf("checkpoint at iteration %d, want the forced boundary save at 1", st.Iteration)
+	}
+
+	cfg.Interrupt = nil
+	cfg.Resume = true
+	resumed, info, err := Train(mx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom != 1 {
+		t.Fatalf("ResumedFrom = %d, want 1", info.ResumedFrom)
+	}
+	if d := linalg.MaxAbsDiff(straight.X, resumed.X); d != 0 {
+		t.Fatalf("resumed run differs from uninterrupted by %g", d)
+	}
+
+	// Without checkpointing the interrupt still stops the run cleanly.
+	cfg = base
+	cfg.Interrupt = ch
+	if _, _, err := Train(mx, cfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("uncheckpointed interrupt = %v, want ErrInterrupted", err)
 	}
 }

@@ -140,6 +140,14 @@ type Config struct {
 	// timings, loss points, and checkpoint I/O. See internal/obs.
 	Obs *obs.TrainRecorder
 
+	// Interrupt, when non-nil, requests a graceful stop (host platform
+	// only): at the first iteration boundary after the channel is closed
+	// the run writes a final checkpoint (when CheckpointDir is set, even
+	// if the stride would have skipped that iteration), stops, and
+	// returns an error wrapping ErrInterrupted — so a later Resume run
+	// continues bit-identically from where the interrupted one left off.
+	Interrupt <-chan struct{}
+
 	// Guard, when set, arms the numerical-resilience layer (host platform
 	// only): corrupt ratings are sanitized before training (non-strict
 	// runs mutate the caller's matrix in place), failed row solves climb
@@ -288,6 +296,11 @@ func (m *Model) ScoreItems(x []float32) []float64 {
 	return out
 }
 
+// ErrInterrupted reports a training run stopped at an iteration boundary by
+// Config.Interrupt. The run's checkpoint (when checkpointing is on) covers
+// everything computed so far: rerun with Resume to finish it.
+var ErrInterrupted = errors.New("core: training interrupted")
+
 // Train factorizes the rating matrix according to cfg.
 func Train(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 	cfg.setDefaults()
@@ -356,6 +369,13 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 	if fsys == nil {
 		fsys = checkpoint.OS
 	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	// saveCkpt writes a checkpoint unconditionally; the OnIteration hook
+	// applies the stride, and the interrupt path forces a final save.
+	var saveCkpt func(it int, x, y *linalg.Dense, hist []host.IterStats) error
 	if cfg.CheckpointDir != "" {
 		if cfg.Resume {
 			loadStart := time.Now()
@@ -383,18 +403,11 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 				return nil, nil, fmt.Errorf("core: resuming from %s: %w", cfg.CheckpointDir, err)
 			}
 		}
-		every := cfg.CheckpointEvery
-		if every <= 0 {
-			every = 1
-		}
 		keep := cfg.CheckpointKeep
 		if keep <= 0 {
 			keep = 3
 		}
-		hostCfg.OnIteration = func(it int, x, y *linalg.Dense, hist []host.IterStats) error {
-			if it%every != 0 && it != cfg.Iterations {
-				return nil
-			}
+		saveCkpt = func(it int, x, y *linalg.Dense, hist []host.IterStats) error {
 			st := &checkpoint.State{
 				Iteration: it, K: cfg.K, Lambda: cfg.Lambda,
 				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
@@ -411,6 +424,35 @@ func trainHost(mx *sparse.Matrix, cfg Config) (*Model, *RunInfo, error) {
 				return err
 			}
 			return checkpoint.GC(fsys, cfg.CheckpointDir, keep)
+		}
+		hostCfg.OnIteration = func(it int, x, y *linalg.Dense, hist []host.IterStats) error {
+			if it%every != 0 && it != cfg.Iterations {
+				return nil
+			}
+			return saveCkpt(it, x, y, hist)
+		}
+	}
+	if cfg.Interrupt != nil {
+		inner := hostCfg.OnIteration // nil without checkpointing
+		hostCfg.OnIteration = func(it int, x, y *linalg.Dense, hist []host.IterStats) error {
+			if inner != nil {
+				if err := inner(it, x, y, hist); err != nil {
+					return err
+				}
+			}
+			select {
+			case <-cfg.Interrupt:
+			default:
+				return nil
+			}
+			// Stop at this boundary. When the checkpoint stride skipped this
+			// iteration, force one now so the interrupted run is resumable.
+			if saveCkpt != nil && it%every != 0 && it != cfg.Iterations {
+				if err := saveCkpt(it, x, y, hist); err != nil {
+					return err
+				}
+			}
+			return fmt.Errorf("%w at iteration %d/%d", ErrInterrupted, it, cfg.Iterations)
 		}
 	}
 	start := time.Now()

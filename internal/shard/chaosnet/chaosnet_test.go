@@ -1,0 +1,360 @@
+package chaosnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame builds one wire frame in the shard protocol: length prefix, body
+// (kind byte + payload), CRC-32C trailer.
+func frame(kind byte, payload []byte) []byte {
+	body := append([]byte{kind}, payload...)
+	b := make([]byte, lenPrefix, lenPrefix+len(body)+crcTrailer)
+	binary.LittleEndian.PutUint64(b, uint64(len(body)))
+	b = append(b, body...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(body, castagnoli))
+}
+
+func hello(rank uint32) []byte {
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, rank)
+	return frame(kindHello, p)
+}
+
+func heartbeat() []byte { return frame(kindHeartbeat, nil) }
+
+// feed writes raw bytes to the peer end in the given chunk size, ignoring
+// errors (an injected sever legitimately kills the pipe mid-write).
+func feed(c net.Conn, raw []byte, chunk int) {
+	go func() {
+		for len(raw) > 0 {
+			n := chunk
+			if n > len(raw) {
+				n = len(raw)
+			}
+			if _, err := c.Write(raw[:n]); err != nil {
+				return
+			}
+			raw = raw[n:]
+		}
+	}()
+}
+
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("reading %d bytes: %v", n, err)
+	}
+	return buf
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "seed=7,sever=1:in:3,corrupt=0:out:2,trunc=2:in:5,drop=0:in:4,delay=1:in:4:2s"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	faults := p.Faults()
+	if len(faults) != 5 {
+		t.Fatalf("got %d faults, want 5", len(faults))
+	}
+	if f := faults[4]; f.Action != Delay || f.Delay != 2*time.Second || f.Rank != 1 || f.Frame != 4 {
+		t.Fatalf("delay fault parsed as %+v", f)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"explode=1:in:3",
+		"sever=1:sideways:3",
+		"sever=1:in:0",
+		"sever=1:in",
+		"sever=-1:in:3",
+		"delay=1:in:3",
+		"delay=1:in:3:fast",
+		"seed=many",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+// TestPassThroughSplitChunks streams a hello plus two payload frames through
+// a fault-free plan one byte at a time: every byte must come out unchanged,
+// and the per-rank frame counters must see all three frames.
+func TestPassThroughSplitChunks(t *testing.T) {
+	plan := NewPlan(1)
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	raw := hello(3)
+	raw = append(raw, frame(9, bytes.Repeat([]byte{0xAB}, 100))...)
+	raw = append(raw, frame(9, []byte{1, 2, 3})...)
+	feed(client, raw, 1)
+
+	got := readN(t, wrapped, len(raw))
+	if !bytes.Equal(got, raw) {
+		t.Fatal("fault-free wrapper altered the stream")
+	}
+	if n := plan.Frames(3, In); n != 3 {
+		t.Fatalf("Frames(3, In) = %d, want 3", n)
+	}
+	if r := plan.Ranks(); len(r) != 1 || r[0] != 3 {
+		t.Fatalf("Ranks() = %v, want [3]", r)
+	}
+	if plan.Fired() != 0 {
+		t.Fatal("fault fired on a fault-free plan")
+	}
+}
+
+// TestHeartbeatSkipsOrdinal interleaves a heartbeat between the hello and a
+// payload frame: the heartbeat must pass through untouched and NOT advance
+// the ordinal, so a fault on In frame 2 hits the payload frame.
+func TestHeartbeatSkipsOrdinal(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 3, Dir: In, Frame: 2, Action: Sever})
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	clean := append(hello(3), heartbeat()...)
+	raw := append(append([]byte{}, clean...), frame(9, []byte{1, 2, 3})...)
+	feed(client, raw, 5)
+
+	got := readN(t, wrapped, len(clean))
+	if !bytes.Equal(got, clean) {
+		t.Fatal("hello+heartbeat were altered")
+	}
+	wrapped.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wrapped.Read(make([]byte, 64)); err == nil {
+		t.Fatal("read past the injected sever")
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", plan.Fired())
+	}
+	if n := plan.Frames(3, In); n != 2 {
+		t.Fatalf("Frames(3, In) = %d, want 2 (heartbeat must not count)", n)
+	}
+}
+
+// TestSeverBeforeFirstByte pins that a severed frame leaks nothing: the
+// previous frame arrives whole, the severed frame contributes zero bytes.
+func TestSeverBeforeFirstByte(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 0, Dir: In, Frame: 2, Action: Sever})
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	h := hello(0)
+	feed(client, append(h, frame(9, []byte{4, 5, 6})...), 7)
+
+	got := readN(t, wrapped, len(h))
+	if !bytes.Equal(got, h) {
+		t.Fatal("hello altered")
+	}
+	wrapped.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := wrapped.Read(make([]byte, 64))
+	if n != 0 || err == nil {
+		t.Fatalf("severed frame leaked %d bytes, err=%v", n, err)
+	}
+}
+
+// TestOneShotClaim replays the same frame sequence on a second wrapped
+// connection, as a respawn does: the fault must not re-fire, and the global
+// per-rank ordinal keeps counting across connections.
+func TestOneShotClaim(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 1, Dir: In, Frame: 2, Action: Sever})
+
+	run := func() error {
+		client, server := net.Pipe()
+		wrapped := plan.Wrap(server)
+		defer wrapped.Close()
+		raw := append(hello(1), frame(9, []byte{1})...)
+		feed(client, raw, len(raw))
+		wrapped.SetReadDeadline(time.Now().Add(5 * time.Second))
+		_, err := io.ReadFull(wrapped, make([]byte, len(raw)))
+		return err
+	}
+
+	if err := run(); err == nil {
+		t.Fatal("first connection survived the sever")
+	}
+	if err := run(); err != nil {
+		t.Fatalf("respawned connection hit the fault again: %v", err)
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", plan.Fired())
+	}
+	if n := plan.Frames(1, In); n != 4 {
+		t.Fatalf("Frames(1, In) = %d, want 4 (ordinals span connections)", n)
+	}
+}
+
+// TestCorruptDeterministic pins Corrupt's contract: exactly one bit differs,
+// never in the length prefix or kind byte, and the flipped position is a
+// pure function of the plan seed.
+func TestCorruptDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 200)
+	run := func(seed int64) []byte {
+		plan := NewPlan(seed, Fault{Rank: 1, Dir: In, Frame: 2, Action: Corrupt})
+		client, server := net.Pipe()
+		wrapped := plan.Wrap(server)
+		raw := append(hello(1), frame(9, payload)...)
+		feed(client, raw, 13)
+		return readN(t, wrapped, len(raw))
+	}
+
+	raw := append(hello(1), frame(9, payload)...)
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	diff := 0
+	pos := -1
+	for i := range raw {
+		if x := raw[i] ^ a[i]; x != 0 {
+			diff++
+			pos = i
+			if x&(x-1) != 0 {
+				t.Fatalf("byte %d has %08b flipped, want a single bit", i, x)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	frameStart := len(hello(1))
+	if pos < frameStart+lenPrefix+1 {
+		t.Fatalf("flip at offset %d corrupted the frame prologue", pos)
+	}
+}
+
+// TestDropSwallowsFrame drops one frame: the connection stays open and the
+// following frame arrives intact, with nothing of the dropped frame leaking.
+func TestDropSwallowsFrame(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 1, Dir: In, Frame: 2, Action: Drop})
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	h := hello(1)
+	third := frame(9, []byte{7, 8, 9})
+	raw := append(append(append([]byte{}, h...), frame(9, bytes.Repeat([]byte{1}, 50))...), third...)
+	feed(client, raw, 11)
+
+	got := readN(t, wrapped, len(h)+len(third))
+	if !bytes.Equal(got[:len(h)], h) {
+		t.Fatal("hello altered")
+	}
+	if !bytes.Equal(got[len(h):], third) {
+		t.Fatal("frame after the dropped one did not arrive intact")
+	}
+	if plan.Frames(1, In); plan.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", plan.Fired())
+	}
+}
+
+// TestTruncateCutsMidFrame forwards part of the frame and then severs — the
+// mid-write crash. The surviving prefix must be byte-exact.
+func TestTruncateCutsMidFrame(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 1, Dir: In, Frame: 2, Action: Truncate})
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	h := hello(1)
+	f := frame(9, bytes.Repeat([]byte{0xCC}, 64))
+	feed(client, append(append([]byte{}, h...), f...), 9)
+
+	cut := (lenPrefix + 1 + len(f)) / 2
+	got := readN(t, wrapped, len(h)+cut)
+	if !bytes.Equal(got, append(append([]byte{}, h...), f[:cut]...)) {
+		t.Fatal("truncated prefix not byte-exact")
+	}
+	wrapped.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wrapped.Read(make([]byte, 64)); err == nil {
+		t.Fatal("read past the truncation point")
+	}
+}
+
+// TestDelayHonorsDeadline stalls a frame for longer than the caller's read
+// deadline: the read must fail with a net.Error whose Timeout() is true, at
+// roughly the deadline — exactly how a hung peer looks.
+func TestDelayHonorsDeadline(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 1, Dir: In, Frame: 2, Action: Delay, Delay: 30 * time.Second})
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	h := hello(1)
+	feed(client, h, 64)
+	if got := readN(t, wrapped, len(h)); !bytes.Equal(got, h) {
+		t.Fatal("hello altered")
+	}
+
+	// Arm the short deadline before the stalled frame arrives, as the
+	// supervisor's heartbeat-refreshed gather deadline would be.
+	wrapped.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	feed(client, frame(9, []byte{1}), 64)
+	begin := time.Now()
+	_, err := wrapped.Read(make([]byte, 64))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want a net.Error timeout", err)
+	}
+	if d := time.Since(begin); d > 5*time.Second {
+		t.Fatalf("stalled %v despite a 150ms deadline", d)
+	}
+}
+
+// TestOutDirection applies a fault to coordinator→worker traffic: the
+// wrapped Write must sever before the targeted frame's bytes reach the peer.
+func TestOutDirection(t *testing.T) {
+	plan := NewPlan(1, Fault{Rank: 1, Dir: Out, Frame: 2, Action: Sever})
+	client, server := net.Pipe()
+	wrapped := plan.Wrap(server)
+
+	// Identify the rank from the inbound hello first, as the coordinator does.
+	feed(client, hello(1), 13)
+	readN(t, wrapped, len(hello(1)))
+
+	first := frame(2, []byte(`{}`))
+	got := make(chan []byte, 1)
+	go func() {
+		client.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, len(first))
+		if _, err := io.ReadFull(client, buf); err == nil {
+			got <- buf
+		}
+		close(got)
+	}()
+	if _, err := wrapped.Write(first); err != nil {
+		t.Fatalf("Out frame 1: %v", err)
+	}
+	if buf, ok := <-got; !ok || !bytes.Equal(buf, first) {
+		t.Fatal("Out frame 1 did not arrive intact")
+	}
+	if _, err := wrapped.Write(frame(3, bytes.Repeat([]byte{2}, 40))); err == nil {
+		t.Fatal("write survived the injected sever")
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", plan.Fired())
+	}
+}
+
+func TestNilPlanWrap(t *testing.T) {
+	_, server := net.Pipe()
+	var p *Plan
+	if p.Wrap(server) != server {
+		t.Fatal("nil plan should return the conn unchanged")
+	}
+}

@@ -12,9 +12,11 @@
 //   - A scatter-gather frontend (Frontend, cmd/alsfront): fans /v1/recommend
 //     and /v1/foldin out to the shard fleet over HTTP, merges the per-shard
 //     heaps with metrics.TopK (identical tie-breaking to a single-process
-//     scan of the full catalog), applies a per-shard deadline, and degrades
-//     to partial results when a shard is down — counted in
-//     als_shard_partial_total and reflected by /readyz.
+//     scan of the full catalog), applies a per-shard deadline, retries a
+//     transiently failed leg once with jittered backoff inside that
+//     deadline (als_shard_retries_total), and degrades to partial results
+//     when a shard stays down — counted in als_shard_partial_total and
+//     reflected by /readyz.
 //
 //   - A data-parallel trainer (Train/RunWorker, alstrain -workers N): worker
 //     processes each solve one static user-row (and item-row) partition and
@@ -22,6 +24,20 @@
 //     length-prefixed TCP exchange relayed by the coordinator. Row updates
 //     are pure functions of the fixed factors, so the distributed model is
 //     bit-identical to the single-process run on the same seed.
+//
+//   - Worker supervision on that trainer: every frame carries a CRC-32C
+//     trailer (corruption is the typed ErrFrameCorrupt, never silent bad
+//     floats), workers heartbeat while they compute, and a crashed, hung or
+//     corrupting rank is respawned mid-run, reseeded from the in-memory
+//     factors at the interrupted half-iteration. Once the respawn budget
+//     (TrainerConfig.MaxRespawns) is spent the cohort elastically
+//     downscales to the survivors — legal because results are bit-identical
+//     across worker counts. Workers self-terminate when the coordinator
+//     dies; TrainerConfig.Interrupt stops a run gracefully at an iteration
+//     boundary with a forced final checkpoint. The chaosnet subpackage is
+//     the deterministic network-fault harness (sever/corrupt/truncate/drop/
+//     delay exactly the Nth frame of a rank+direction) behind the
+//     kill-at-every-frame sweep test and alstrain's -net-chaos flag.
 //
 // Shard replicas stay in sync with training through the existing checkpoint
 // watcher: the coordinator writes ordinary checkpoints, every replica

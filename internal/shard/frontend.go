@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -37,6 +38,11 @@ type FrontendConfig struct {
 	ShardTimeout time.Duration
 	// ProbeInterval is the background health-check period (default 2s).
 	ProbeInterval time.Duration
+	// RetryBackoff is the base for the jittered pause before the single
+	// retry of a transiently-failed fan-out leg (default 25ms). The retry
+	// runs inside the same per-shard deadline, so a request is only
+	// degraded to partial when a shard fails twice within ShardTimeout.
+	RetryBackoff time.Duration
 	// MaxN caps the per-request recommendation count (default 100).
 	MaxN int
 	// MaxFoldInItems caps one fold-in request's ratings (default 10000).
@@ -60,6 +66,9 @@ func (c *FrontendConfig) setDefaults() {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 2 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
 	}
 	if c.MaxN <= 0 {
 		c.MaxN = 100
@@ -97,6 +106,7 @@ type Frontend struct {
 	requests  *obs.Vec
 	latency   *obs.Vec
 	shardReqs *obs.Vec
+	retries   *obs.Vec
 }
 
 var frontLatencyBuckets = []float64{
@@ -130,6 +140,8 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	cfg.Tracer.Register(f.reg)
 	f.shardReqs = f.reg.Counter("als_front_shard_requests_total",
 		"Fan-out legs by shard and outcome.", "shard", "outcome")
+	f.retries = f.reg.Counter("als_shard_retries_total",
+		"Fan-out legs retried after a transient shard failure.", "shard")
 	f.reg.Func("als_front_shard_up",
 		"Whether the shard answered its last probe or request (1 up, 0 down).",
 		obs.Gauge, []string{"shard"}, func() []obs.Sample {
@@ -360,9 +372,13 @@ func (f *Frontend) doJSON(ctx context.Context, i int, req *http.Request, out any
 }
 
 // scatter runs fn for every shard concurrently under the per-shard
-// deadline and returns the per-shard outcomes. Transport failures and 5xx
-// replies mark the shard down (and a later success marks it back up), so
-// request traffic itself drives degradation and recovery.
+// deadline and returns the per-shard outcomes. A transient failure — a
+// transport error or a 5xx reply — is retried once after a jittered
+// backoff, still inside the same per-shard deadline, so one flaky response
+// does not degrade the answer to partial. Transport failures and 5xx
+// replies that survive the retry mark the shard down (and a later success
+// marks it back up), so request traffic itself drives degradation and
+// recovery.
 func (f *Frontend) scatter(ctx context.Context, fn func(ctx context.Context, i int) error) []error {
 	errs := make([]error, len(f.shards))
 	var wg sync.WaitGroup
@@ -373,6 +389,17 @@ func (f *Frontend) scatter(ctx context.Context, fn func(ctx context.Context, i i
 			sctx, cancel := context.WithTimeout(ctx, f.cfg.ShardTimeout)
 			defer cancel()
 			err := fn(sctx, i)
+			if retryable(err) && sctx.Err() == nil {
+				f.retries.With(strconv.Itoa(i)).Inc()
+				pause := time.NewTimer(f.cfg.RetryBackoff/2 +
+					time.Duration(rand.Int63n(int64(f.cfg.RetryBackoff))))
+				select {
+				case <-sctx.Done():
+					pause.Stop()
+				case <-pause.C:
+					err = fn(sctx, i)
+				}
+			}
 			errs[i] = err
 			outcome := "ok"
 			var se *statusError
@@ -391,6 +418,21 @@ func (f *Frontend) scatter(ctx context.Context, fn func(ctx context.Context, i i
 	}
 	wg.Wait()
 	return errs
+}
+
+// retryable reports whether a fan-out leg's failure is worth one more try:
+// transport errors and 5xx replies are transient (a hiccup, a restarting
+// replica), while 4xx replies blame the request and a spent deadline
+// leaves no time to try again.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
 }
 
 // anyInfo returns the freshest cached shard info, fetching one

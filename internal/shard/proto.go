@@ -3,25 +3,38 @@ package shard
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
+	"sync"
 	"sync/atomic"
 )
 
 // The trainer's exchange protocol: every frame is a little-endian uint64
-// body length followed by the body, whose first byte names the frame kind.
-// Factor frames carry a fixed 20-byte header (iteration, half, first row,
-// row count, k) and then rows·k raw little-endian float32s, so a full
-// factor matrix moves as one frame with no per-row framing.
+// body length, the body (whose first byte names the frame kind), and a
+// little-endian uint32 CRC-32C of the body. The checksum rides as a trailer,
+// not a header, so a multi-megabyte factor frame still streams through the
+// scratch buffer with the CRC accumulated chunk by chunk — no frame-sized
+// staging copy on either end. A mismatched trailer surfaces as the typed
+// ErrFrameCorrupt, which the supervisor treats as a worker failure rather
+// than silently assembling a wrong model.
+//
+// Factor frames carry a fixed 17-byte header (iteration, half, first row,
+// row count, k) and then rows·k raw little-endian float32s, so a full factor
+// matrix moves as one frame with no per-row framing. Heartbeat frames are
+// empty liveness markers a worker emits while computing; readers skip them
+// transparently, refreshing their deadline per beat.
 const (
-	frameHello    byte = 1 // worker → coordinator: uint32 rank
-	frameConfig   byte = 2 // coordinator → worker: JSON workerConfig
-	frameFactors  byte = 3 // either direction: factorHeader + float32 payload
-	frameError    byte = 4 // worker → coordinator: UTF-8 failure message
-	frameTraceCtx byte = 5 // coordinator → worker: rtrace binary span context (17 bytes)
-	frameSpans    byte = 6 // worker → coordinator: rtrace.EncodeSpans payload
+	frameHello     byte = 1 // worker → coordinator: uint32 rank
+	frameConfig    byte = 2 // coordinator → worker: JSON workerConfig
+	frameFactors   byte = 3 // either direction: factorHeader + float32 payload
+	frameError     byte = 4 // worker → coordinator: UTF-8 failure message
+	frameTraceCtx  byte = 5 // coordinator → worker: rtrace binary span context (17 bytes)
+	frameSpans     byte = 6 // worker → coordinator: rtrace.EncodeSpans payload
+	frameHeartbeat byte = 7 // worker → coordinator: empty liveness marker
 )
 
 // maxSmallFrame bounds hello/config/error bodies; factor frames are bounded
@@ -29,6 +42,14 @@ const (
 const maxSmallFrame = 1 << 20
 
 const halfX, halfY byte = 0, 1
+
+// ErrFrameCorrupt reports a frame whose CRC-32C trailer does not match its
+// body — bytes were damaged in flight (or injected as damaged by chaosnet).
+var ErrFrameCorrupt = errors.New("shard: frame checksum mismatch")
+
+// castagnoli is the CRC-32C table, matching the checkpoint file format's
+// checksum family.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // factorHeader describes one factor frame: rows [Lo, Lo+Rows) of the
 // iteration's half-side matrix.
@@ -39,14 +60,22 @@ type factorHeader struct {
 
 const factorHeaderLen = 17
 
-// wire is one framed connection. Reads and writes are buffered; traffic,
-// when non-nil, accumulates the full on-the-wire size of every frame sent
-// or received (the als_dist_broadcast_bytes_total measurement point).
+// crcTrailerLen is the per-frame checksum trailer size.
+const crcTrailerLen = 4
+
+// wire is one framed connection. Reads and writes are buffered; writes are
+// additionally serialized by a mutex, because a worker's heartbeat goroutine
+// emits liveness frames concurrently with the training loop's factor
+// frames. traffic, when non-nil, accumulates the full on-the-wire size of
+// every frame sent or received (the als_dist_broadcast_bytes_total
+// measurement point).
 type wire struct {
 	c       net.Conn
 	br      *bufio.Reader
+	wmu     sync.Mutex
 	bw      *bufio.Writer
 	scratch []byte
+	rcrc    uint32 // running CRC of the frame body being read
 	traffic *atomic.Int64
 }
 
@@ -72,8 +101,10 @@ func (w *wire) count(n int) {
 	}
 }
 
-// writeSmall sends a hello/config/error frame and flushes.
+// writeSmall sends a hello/config/error/heartbeat frame and flushes.
 func (w *wire) writeSmall(kind byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
 	var hdr [9]byte
 	binary.LittleEndian.PutUint64(hdr[:8], uint64(1+len(payload)))
 	hdr[8] = kind
@@ -83,7 +114,12 @@ func (w *wire) writeSmall(kind byte, payload []byte) error {
 	if _, err := w.bw.Write(payload); err != nil {
 		return err
 	}
-	w.count(len(hdr) + len(payload))
+	crc := crc32.Update(0, castagnoli, hdr[8:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if err := w.writeTrailer(crc); err != nil {
+		return err
+	}
+	w.count(len(hdr) + len(payload) + crcTrailerLen)
 	return w.bw.Flush()
 }
 
@@ -92,6 +128,8 @@ func (w *wire) writeFactors(h factorHeader, data []float32) error {
 	if int(h.Rows)*int(h.K) != len(data) {
 		return fmt.Errorf("shard: factor frame %dx%d does not match %d floats", h.Rows, h.K, len(data))
 	}
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
 	var hdr [8 + 1 + factorHeaderLen]byte
 	binary.LittleEndian.PutUint64(hdr[:8], uint64(1+factorHeaderLen+len(data)*4))
 	hdr[8] = frameFactors
@@ -103,16 +141,28 @@ func (w *wire) writeFactors(h factorHeader, data []float32) error {
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if err := w.writeFloats(data); err != nil {
+	crc := crc32.Update(0, castagnoli, hdr[8:])
+	if err := w.writeFloats(data, &crc); err != nil {
 		return err
 	}
-	w.count(len(hdr) + len(data)*4)
+	if err := w.writeTrailer(crc); err != nil {
+		return err
+	}
+	w.count(len(hdr) + len(data)*4 + crcTrailerLen)
 	return w.bw.Flush()
 }
 
+func (w *wire) writeTrailer(crc uint32) error {
+	var tr [crcTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], crc)
+	_, err := w.bw.Write(tr[:])
+	return err
+}
+
 // writeFloats streams data through the scratch buffer as little-endian
-// float32s, so a multi-megabyte factor matrix needs no matrix-sized copy.
-func (w *wire) writeFloats(data []float32) error {
+// float32s, accumulating the frame CRC, so a multi-megabyte factor matrix
+// needs no matrix-sized copy.
+func (w *wire) writeFloats(data []float32, crc *uint32) error {
 	buf := w.scratch
 	for len(data) > 0 {
 		chunk := len(buf) / 4
@@ -125,12 +175,14 @@ func (w *wire) writeFloats(data []float32) error {
 		if _, err := w.bw.Write(buf[:chunk*4]); err != nil {
 			return err
 		}
+		*crc = crc32.Update(*crc, castagnoli, buf[:chunk*4])
 		data = data[chunk:]
 	}
 	return nil
 }
 
-// readHeader reads the next frame's length prefix and kind byte.
+// readHeader reads the next frame's length prefix and kind byte, seeding the
+// running body CRC with the kind.
 func (w *wire) readHeader() (kind byte, bodyLen uint64, err error) {
 	var hdr [9]byte
 	if _, err := io.ReadFull(w.br, hdr[:]); err != nil {
@@ -141,38 +193,91 @@ func (w *wire) readHeader() (kind byte, bodyLen uint64, err error) {
 		return 0, 0, fmt.Errorf("shard: empty frame")
 	}
 	w.count(9)
+	w.rcrc = crc32.Update(0, castagnoli, hdr[8:])
 	return hdr[8], n - 1, nil
 }
 
-// readSmall reads one hello/config/error frame, returning its kind and body.
-func (w *wire) readSmall() (byte, []byte, error) {
-	kind, n, err := w.readHeader()
-	if err != nil {
-		return 0, nil, err
+// readTrailer consumes the frame's CRC trailer and checks it against the
+// accumulated body CRC.
+func (w *wire) readTrailer(kind byte) error {
+	var tr [crcTrailerLen]byte
+	if _, err := io.ReadFull(w.br, tr[:]); err != nil {
+		return err
 	}
-	if kind == frameFactors {
-		return 0, nil, fmt.Errorf("shard: unexpected factor frame")
+	w.count(crcTrailerLen)
+	if got := binary.LittleEndian.Uint32(tr[:]); got != w.rcrc {
+		return fmt.Errorf("%w (kind=%d, trailer=%08x, computed=%08x)", ErrFrameCorrupt, kind, got, w.rcrc)
 	}
-	if n > maxSmallFrame {
-		return 0, nil, fmt.Errorf("shard: %d-byte control frame exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(w.br, body); err != nil {
-		return 0, nil, err
-	}
-	w.count(int(n))
-	return kind, body, nil
+	return nil
 }
 
-// expectFactors reads one frame, which must be a factor frame for the given
-// iteration and half covering rows [wantLo, wantLo+wantRows), and decodes
-// its payload into dst (indexed in the frame's own row space, so receiving
-// a shard lands at dst[wantLo*k:]). A frameError surfaces as the worker's
-// own message.
-func (w *wire) expectFactors(iter int, half byte, k int, dst []float32, wantLo, wantRows int) error {
-	kind, n, err := w.readHeader()
-	if err != nil {
-		return err
+// readSmall reads one control frame, returning its kind and body. Heartbeat
+// frames are consumed and skipped; onBeat, when non-nil, runs after each so
+// callers can refresh their read deadline per sign of life.
+func (w *wire) readSmall(onBeat func()) (byte, []byte, error) {
+	for {
+		kind, n, err := w.readHeader()
+		if err != nil {
+			return 0, nil, err
+		}
+		if kind == frameFactors {
+			return 0, nil, fmt.Errorf("shard: unexpected factor frame")
+		}
+		if n > maxSmallFrame {
+			return 0, nil, fmt.Errorf("shard: %d-byte control frame exceeds limit", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(w.br, body); err != nil {
+			return 0, nil, err
+		}
+		w.count(int(n))
+		w.rcrc = crc32.Update(w.rcrc, castagnoli, body)
+		if err := w.readTrailer(kind); err != nil {
+			return 0, nil, err
+		}
+		if kind == frameHeartbeat {
+			if onBeat != nil {
+				onBeat()
+			}
+			continue
+		}
+		return kind, body, nil
+	}
+}
+
+// expectFactors reads frames until a factor frame arrives, which must match
+// the given iteration and half and cover rows [wantLo, wantLo+wantRows), and
+// decodes its payload into dst (indexed in the frame's own row space, so
+// receiving a shard lands at dst[wantLo*k:]). Heartbeats are skipped (via
+// onBeat, as in readSmall) and a frameError surfaces as the worker's own
+// message.
+func (w *wire) expectFactors(iter int, half byte, k int, dst []float32, wantLo, wantRows int, onBeat func()) error {
+	var kind byte
+	var n uint64
+	for {
+		var err error
+		kind, n, err = w.readHeader()
+		if err != nil {
+			return err
+		}
+		if kind != frameHeartbeat {
+			break
+		}
+		if n > maxSmallFrame {
+			return fmt.Errorf("shard: %d-byte heartbeat frame exceeds limit", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(w.br, body); err != nil {
+			return err
+		}
+		w.count(int(n))
+		w.rcrc = crc32.Update(w.rcrc, castagnoli, body)
+		if err := w.readTrailer(kind); err != nil {
+			return err
+		}
+		if onBeat != nil {
+			onBeat()
+		}
 	}
 	switch kind {
 	case frameError:
@@ -183,7 +288,12 @@ func (w *wire) expectFactors(iter int, half byte, k int, dst []float32, wantLo, 
 		if _, err := io.ReadFull(w.br, msg); err != nil {
 			return fmt.Errorf("shard: peer failed (message lost: %v)", err)
 		}
-		return fmt.Errorf("shard: peer failed: %s", msg)
+		w.count(int(n))
+		w.rcrc = crc32.Update(w.rcrc, castagnoli, msg)
+		if err := w.readTrailer(kind); err != nil {
+			return err
+		}
+		return &workerFailure{msg: string(msg)}
 	case frameFactors:
 	default:
 		return fmt.Errorf("shard: unexpected frame kind %d (want factors)", kind)
@@ -192,6 +302,7 @@ func (w *wire) expectFactors(iter int, half byte, k int, dst []float32, wantLo, 
 	if _, err := io.ReadFull(w.br, hb[:]); err != nil {
 		return err
 	}
+	w.rcrc = crc32.Update(w.rcrc, castagnoli, hb[:])
 	h := factorHeader{
 		Iter: binary.LittleEndian.Uint32(hb[0:]),
 		Lo:   binary.LittleEndian.Uint32(hb[4:]),
@@ -211,11 +322,11 @@ func (w *wire) expectFactors(iter int, half byte, k int, dst []float32, wantLo, 
 		return err
 	}
 	w.count(int(n))
-	return nil
+	return w.readTrailer(kind)
 }
 
 // readFloats decodes len(dst) little-endian float32s through the scratch
-// buffer.
+// buffer, accumulating the frame CRC.
 func (w *wire) readFloats(dst []float32) error {
 	buf := w.scratch
 	for len(dst) > 0 {
@@ -226,6 +337,7 @@ func (w *wire) readFloats(dst []float32) error {
 		if _, err := io.ReadFull(w.br, buf[:chunk*4]); err != nil {
 			return err
 		}
+		w.rcrc = crc32.Update(w.rcrc, castagnoli, buf[:chunk*4])
 		for i := 0; i < chunk; i++ {
 			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
 		}
@@ -233,3 +345,10 @@ func (w *wire) readFloats(dst []float32) error {
 	}
 	return nil
 }
+
+// workerFailure is a frameError relayed from a worker: the peer is alive
+// enough to report its own failure, which the supervisor classifies
+// separately from connection loss.
+type workerFailure struct{ msg string }
+
+func (e *workerFailure) Error() string { return "shard: peer failed: " + e.msg }

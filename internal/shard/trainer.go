@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/rtrace"
+	"repro/internal/shard/chaosnet"
 	"repro/internal/sparse"
 	"repro/internal/variant"
 )
@@ -90,14 +91,47 @@ type TrainerConfig struct {
 	ListenAddr string
 	// Spawn starts worker rank, pointing it at the coordinator address,
 	// and returns a stop function (called on coordinator failure so no
-	// worker outlives a dead run). Nil runs workers as in-process
+	// worker outlives a dead run; it must be idempotent — the supervisor
+	// may call it again at shutdown). Nil runs workers as in-process
 	// goroutines — the unit-test and library mode; alstrain execs itself
-	// with -dist-rank instead.
+	// with -dist-rank instead. The supervisor also calls Spawn to replace
+	// a failed rank mid-run.
 	Spawn func(rank int, addr string) (stop func(), err error)
-	// Timeout bounds the worker handshake and every blocking exchange
-	// read (default 10m: a half-iteration on a large preset is minutes of
-	// compute between frames).
+	// Timeout bounds the worker handshake and the end-of-run span
+	// collection read (default 10m). Liveness during the exchange itself
+	// is governed by the much tighter HeartbeatTimeout and RoundTimeout.
 	Timeout time.Duration
+
+	// HeartbeatInterval is how often a worker emits a liveness frame while
+	// computing (default 1s; <0 disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long the coordinator waits without a sign of
+	// life — a heartbeat or payload bytes — before declaring a worker hung
+	// (default 5s, and never less than twice the interval).
+	HeartbeatTimeout time.Duration
+	// RoundTimeout bounds one half-iteration exchange end to end, catching
+	// failures liveness cannot (a worker that heartbeats forever but never
+	// sends its shard). Default: Timeout.
+	RoundTimeout time.Duration
+	// SpawnTimeout bounds a (re)spawned worker's dial-hello-config
+	// handshake (default: Timeout).
+	SpawnTimeout time.Duration
+	// MaxRespawns is the per-run budget of worker respawns before the
+	// supervisor stops replacing dead ranks and elastically downscales to
+	// the survivors instead (default 3; negative disables respawning, so
+	// the first failure downscales).
+	MaxRespawns int
+	// NetChaos, when set, wraps every accepted worker connection with the
+	// deterministic fault plan — the failure-injection test mode behind
+	// alstrain -net-chaos.
+	NetChaos *chaosnet.Plan
+	// Interrupt, when non-nil and closed (or sent to), stops the run at
+	// the next iteration boundary: the coordinator writes a final
+	// checkpoint, tears the workers down, and returns ErrInterrupted.
+	Interrupt <-chan struct{}
+	// Logf, when set, receives supervision events (failures, respawns,
+	// downscales) — alstrain wires log.Printf.
+	Logf func(format string, args ...any)
 
 	K              int
 	Lambda         float32
@@ -131,9 +165,10 @@ type TrainerConfig struct {
 	// and serve directly at that precision, but cannot seed Resume.
 	CheckpointPrecision quant.Precision
 
-	// Registry, when set, gains als_dist_broadcast_bytes_total: the bytes
-	// relayed through the coordinator (worker shards in, assembled
-	// factors out, frame headers included).
+	// Registry, when set, gains als_dist_broadcast_bytes_total (the bytes
+	// relayed through the coordinator) plus the supervision counters:
+	// als_dist_worker_failures_total{reason}, als_dist_respawns_total and
+	// als_dist_round_deadline_exceeded_total.
 	Registry *obs.Registry
 
 	// Tracer, when set and sampling the run, records a root "train" span
@@ -141,7 +176,7 @@ type TrainerConfig struct {
 	// rank, so the straggler is visible), tells every worker to trace its
 	// own compute/gather/broadcast spans, and ingests those spans when the
 	// workers ship them back over a frameSpans TCP frame at the end of the
-	// run.
+	// run. Worker failures annotate the half span they interrupted.
 	Tracer *rtrace.Tracer
 }
 
@@ -155,6 +190,13 @@ type TrainInfo struct {
 	BroadcastBytes int64
 	ResumedFrom    int
 	Variant        string
+	// Supervision outcomes: worker failures detected, ranks respawned,
+	// elastic downscales taken, and the cohort size that finished the run
+	// (== Workers when nothing failed or every failure was respawned).
+	Failures     int
+	Respawns     int
+	Downscales   int
+	FinalWorkers int
 }
 
 // workerConfig is the JSON config frame the coordinator sends each worker.
@@ -171,6 +213,16 @@ type workerConfig struct {
 	Threads        int      `json:"threads"`
 	StartIteration int      `json:"start_iteration"`
 	Data           DataSpec `json:"data"`
+	// StartY makes the worker's first computed half StartIteration+1's Y
+	// half instead of its X half — how a rank respawned mid-iteration
+	// rejoins without redoing the half that already completed.
+	StartY bool `json:"start_y,omitempty"`
+	// Seeded tells the worker two full factor frames (X then Y, tagged
+	// StartIteration) follow the config, seeding a resumed or respawned
+	// rank with the coordinator's in-memory state.
+	Seeded bool `json:"seeded,omitempty"`
+	// HeartbeatMillis is the liveness frame period (0 = no heartbeats).
+	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
 	// Trace tells the worker a frameTraceCtx follows the config and that it
 	// must record per-half compute/gather/broadcast spans and ship them
 	// back over frameSpans after the final iteration.
@@ -189,6 +241,27 @@ func (cfg *TrainerConfig) setDefaults() {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Minute
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatInterval < 0 {
+		cfg.HeartbeatInterval = 0
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.HeartbeatTimeout < 2*cfg.HeartbeatInterval {
+		cfg.HeartbeatTimeout = 2 * cfg.HeartbeatInterval
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = cfg.Timeout
+	}
+	if cfg.SpawnTimeout <= 0 {
+		cfg.SpawnTimeout = cfg.Timeout
+	}
+	if cfg.MaxRespawns == 0 {
+		cfg.MaxRespawns = 3
 	}
 	if cfg.UseRecommended && !cfg.Flat && cfg.Variant == (variant.Options{}) {
 		cfg.Variant = variant.Options{Vector: true, Fused: true}
@@ -216,6 +289,13 @@ func (cfg *TrainerConfig) variantName() string {
 // before holding the complete fixed factor. Row updates are pure functions
 // of (row data, fixed factors, λ, k, variant), so the assembled model is
 // bit-identical to a single-process run with the same seed.
+//
+// The run is supervised: workers heartbeat while computing, every frame is
+// CRC-checked, and a worker that dies, hangs, or corrupts a frame is either
+// respawned (seeded from the in-memory factors, redoing only the
+// interrupted half-iteration) or — once MaxRespawns is spent — the cohort
+// elastically downscales to the survivors, which still yields factors
+// bit-identical to a clean run at that worker count.
 func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error) {
 	if mx == nil || mx.NNZ() == 0 {
 		return nil, nil, fmt.Errorf("shard: empty rating matrix")
@@ -253,8 +333,9 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 	}
 
 	// Coordinator-side factor buffers: assembled from worker shards each
-	// half. The initial contents only matter for a resumed run (they seed
-	// the workers); a fresh run overwrites both in the first iteration.
+	// half. The initial contents only matter when seeding workers (resumed
+	// runs, and any rank respawned before the first exchange); a fresh run
+	// overwrites both in the first iteration.
 	x := linalg.NewDense(m, k)
 	y := host.InitialY(n, k, cfg.Seed)
 	if resumeX != nil {
@@ -266,6 +347,7 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 	if start >= cfg.Iterations {
 		// The checkpoint already covers the requested iterations; nothing
 		// to distribute.
+		info.FinalWorkers = cfg.Workers
 		return model, info, nil
 	}
 
@@ -274,7 +356,6 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 		return nil, nil, fmt.Errorf("shard: coordinator listen: %w", err)
 	}
 	defer lis.Close()
-	addr := lis.Addr().String()
 
 	var traffic atomic.Int64
 	spawn := cfg.Spawn
@@ -284,29 +365,6 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 			return func() {}, nil
 		}
 	}
-	var stops []func()
-	defer func() {
-		for _, stop := range stops {
-			stop()
-		}
-	}()
-	for rank := 0; rank < cfg.Workers; rank++ {
-		stop, err := spawn(rank, addr)
-		if err != nil {
-			return nil, nil, fmt.Errorf("shard: spawning worker %d: %w", rank, err)
-		}
-		stops = append(stops, stop)
-	}
-
-	conns, err := acceptWorkers(lis, cfg.Workers, cfg.Timeout, &traffic)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer func() {
-		for _, wc := range conns {
-			wc.close()
-		}
-	}()
 
 	// Head-sample the run: a sampled run traces the coordinator's exchange
 	// spans and tells every worker to trace (and later ship) its own.
@@ -316,36 +374,33 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 		root.SetAttr("variant", vname)
 	}
 
-	for rank, wc := range conns {
-		wcfg := workerConfig{
-			Workers: cfg.Workers, Rank: rank,
-			K: k, Lambda: cfg.Lambda, Iterations: cfg.Iterations, Seed: cfg.Seed,
-			WeightedLambda: cfg.WeightedLambda, Flat: cfg.Flat,
-			VariantID: cfg.Variant.ID(), Threads: cfg.Threads,
-			StartIteration: start, Data: cfg.Data,
-			Trace: root != nil,
+	sup := &supervisor{
+		cfg: &cfg, lis: lis, addr: lis.Addr().String(), spawn: spawn,
+		traffic: &traffic, m: m, n: n, k: k, x: x, y: y, vname: vname,
+		total: cfg.Workers, workers: make([]*supWorker, cfg.Workers),
+		runCtx: runCtx, root: root,
+	}
+	if cfg.Registry != nil {
+		sup.failuresVec = cfg.Registry.Counter("als_dist_worker_failures_total",
+			"Distributed-training worker failures detected by the supervisor, by reason.", "reason")
+		sup.respawnsC = cfg.Registry.Counter("als_dist_respawns_total",
+			"Worker ranks respawned by the distributed-training supervisor.").With()
+		sup.deadlineC = cfg.Registry.Counter("als_dist_round_deadline_exceeded_total",
+			"Half-iteration exchanges that exceeded the round deadline.").With()
+	}
+	defer sup.close()
+
+	all := make([]int, cfg.Workers)
+	for i := range all {
+		all[i] = i
+	}
+	point0 := resumePoint{iter: start + 1}
+	if failed := sup.spawnRanks(all, point0, start > 0); len(failed) > 0 {
+		for _, r := range sortedRanks(failed) {
+			sup.noteFailure(r, failed[r], root)
 		}
-		body, err := json.Marshal(wcfg)
-		if err != nil {
+		if _, err := sup.recover(failed, point0, root); err != nil {
 			return nil, nil, err
-		}
-		if err := wc.writeSmall(frameConfig, body); err != nil {
-			return nil, nil, fmt.Errorf("shard: sending config to worker %d: %w", rank, err)
-		}
-		if root != nil {
-			if err := wc.writeSmall(frameTraceCtx, root.Context().AppendBinary(nil)); err != nil {
-				return nil, nil, fmt.Errorf("shard: sending trace context to worker %d: %w", rank, err)
-			}
-		}
-		if start > 0 {
-			// Seed resumed workers with the checkpointed factors; fresh
-			// workers derive the identical start state themselves.
-			if err := wc.writeFactors(factorHeader{Iter: uint32(start), Half: halfX, Lo: 0, Rows: uint32(m), K: uint32(k)}, x.Data); err != nil {
-				return nil, nil, fmt.Errorf("shard: seeding worker %d: %w", rank, err)
-			}
-			if err := wc.writeFactors(factorHeader{Iter: uint32(start), Half: halfY, Lo: 0, Rows: uint32(n), K: uint32(k)}, y.Data); err != nil {
-				return nil, nil, fmt.Errorf("shard: seeding worker %d: %w", rank, err)
-			}
 		}
 	}
 
@@ -357,143 +412,64 @@ func Train(mx *sparse.Matrix, cfg TrainerConfig) (*core.Model, *TrainInfo, error
 	if keep <= 0 {
 		keep = 3
 	}
-	trainStart := time.Now()
-	for it := start + 1; it <= cfg.Iterations; it++ {
-		if err := relayHalfTraced(runCtx, conns, it, "x", halfX, m, k, x.Data, cfg.Timeout); err != nil {
-			return nil, nil, fmt.Errorf("shard: iteration %d X half: %w", it, err)
+	saveCkpt := func(it int) error {
+		st := &checkpoint.State{
+			Iteration: it, K: k, Lambda: cfg.Lambda,
+			WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
+			Variant: vname, X: x, Y: y,
+			Precision: cfg.CheckpointPrecision,
 		}
-		if err := relayHalfTraced(runCtx, conns, it, "y", halfY, n, k, y.Data, cfg.Timeout); err != nil {
-			return nil, nil, fmt.Errorf("shard: iteration %d Y half: %w", it, err)
+		if _, err := checkpoint.Save(fsys, cfg.CheckpointDir, st); err != nil {
+			return fmt.Errorf("shard: iteration %d checkpoint: %w", it, err)
 		}
-		if cfg.CheckpointDir != "" && (it%every == 0 || it == cfg.Iterations) {
-			st := &checkpoint.State{
-				Iteration: it, K: k, Lambda: cfg.Lambda,
-				WeightedLambda: cfg.WeightedLambda, Seed: cfg.Seed,
-				Variant: vname, X: x, Y: y,
-				Precision: cfg.CheckpointPrecision,
-			}
-			if _, err := checkpoint.Save(fsys, cfg.CheckpointDir, st); err != nil {
-				return nil, nil, fmt.Errorf("shard: iteration %d checkpoint: %w", it, err)
-			}
-			if err := checkpoint.GC(fsys, cfg.CheckpointDir, keep); err != nil {
-				return nil, nil, fmt.Errorf("shard: iteration %d checkpoint GC: %w", it, err)
-			}
+		if err := checkpoint.GC(fsys, cfg.CheckpointDir, keep); err != nil {
+			return fmt.Errorf("shard: iteration %d checkpoint GC: %w", it, err)
+		}
+		return nil
+	}
+	finish := func() {
+		info.Seconds = time.Since(sup.started).Seconds()
+		info.BroadcastBytes = traffic.Load()
+		info.Failures = sup.failuresN
+		info.Respawns = sup.respawns
+		info.Downscales = sup.downscales
+		info.FinalWorkers = sup.total
+		if cfg.Registry != nil {
+			cfg.Registry.Counter("als_dist_broadcast_bytes_total",
+				"Factor-exchange bytes relayed through the distributed trainer coordinator.").
+				With().Add(float64(info.BroadcastBytes))
 		}
 	}
-	if root != nil {
-		// Workers ship their span bundles after the final broadcast; the
-		// stream is ordered, so one frameSpans per worker follows the last
-		// factor frame with nothing in between.
-		for rank, wc := range conns {
-			wc.c.SetReadDeadline(time.Now().Add(cfg.Timeout))
-			kind, body, err := wc.readSmall()
-			if err != nil || kind != frameSpans {
-				return nil, nil, fmt.Errorf("shard: reading spans from worker %d (kind=%d): %v", rank, kind, err)
-			}
-			spans, err := rtrace.DecodeSpans(body)
-			if err != nil {
-				return nil, nil, fmt.Errorf("shard: decoding spans from worker %d: %w", rank, err)
-			}
-			cfg.Tracer.Ingest(spans)
+	sup.started = time.Now()
+	for it := start + 1; it <= cfg.Iterations; it++ {
+		if err := sup.iterate(it); err != nil {
+			return nil, nil, fmt.Errorf("shard: %w", err)
 		}
+		saved := false
+		if cfg.CheckpointDir != "" && (it%every == 0 || it == cfg.Iterations) {
+			if err := saveCkpt(it); err != nil {
+				return nil, nil, err
+			}
+			saved = true
+		}
+		select {
+		case <-cfg.Interrupt:
+			if cfg.CheckpointDir != "" && !saved {
+				if err := saveCkpt(it); err != nil {
+					return nil, nil, err
+				}
+			}
+			finish()
+			return model, info, fmt.Errorf("%w at iteration %d/%d", ErrInterrupted, it, cfg.Iterations)
+		default:
+		}
+	}
+	sup.collectSpans()
+	if root != nil {
 		root.End()
 	}
-	info.Seconds = time.Since(trainStart).Seconds()
-	info.BroadcastBytes = traffic.Load()
-	if cfg.Registry != nil {
-		cfg.Registry.Counter("als_dist_broadcast_bytes_total",
-			"Factor-exchange bytes relayed through the distributed trainer coordinator.").
-			With().Add(float64(info.BroadcastBytes))
-	}
+	finish()
 	return model, info, nil
-}
-
-// acceptWorkers collects one hello-identified connection per rank.
-func acceptWorkers(lis net.Listener, workers int, timeout time.Duration, traffic *atomic.Int64) ([]*wire, error) {
-	deadline := time.Now().Add(timeout)
-	if tl, ok := lis.(*net.TCPListener); ok {
-		tl.SetDeadline(deadline)
-	}
-	conns := make([]*wire, workers)
-	bail := func(err error) ([]*wire, error) {
-		for _, wc := range conns {
-			wc.close()
-		}
-		return nil, err
-	}
-	for i := 0; i < workers; i++ {
-		c, err := lis.Accept()
-		if err != nil {
-			return bail(fmt.Errorf("shard: waiting for %d worker(s): %w", workers-i, err))
-		}
-		c.SetReadDeadline(deadline)
-		wc := newWire(c, traffic)
-		kind, body, err := wc.readSmall()
-		if err != nil || kind != frameHello || len(body) != 4 {
-			wc.close()
-			return bail(fmt.Errorf("shard: bad hello from %s (kind=%d err=%v)", c.RemoteAddr(), kind, err))
-		}
-		rank := int(int32(uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16 | uint32(body[3])<<24))
-		if rank < 0 || rank >= workers || conns[rank] != nil {
-			wc.close()
-			return bail(fmt.Errorf("shard: hello with invalid or duplicate rank %d", rank))
-		}
-		c.SetReadDeadline(time.Time{})
-		conns[rank] = wc
-	}
-	return conns, nil
-}
-
-// relayHalfTraced wraps relayHalf in an "iterN/half" span with gather and
-// broadcast children when ctx carries the run's root span; the gather span
-// gets one wait child per rank, so the straggling worker is the one whose
-// wait dominates.
-func relayHalfTraced(ctx context.Context, conns []*wire, it int, halfName string, half byte, rows, k int, dst []float32, timeout time.Duration) error {
-	if !rtrace.Active(ctx) {
-		return relayHalf(nil, conns, it, half, rows, k, dst, timeout)
-	}
-	hctx, span := rtrace.StartChild(ctx, fmt.Sprintf("iter%d/%s", it, halfName))
-	err := relayHalf(hctx, conns, it, half, rows, k, dst, timeout)
-	span.End()
-	return err
-}
-
-// relayHalf runs one half-iteration exchange: gather every worker's
-// contiguous shard into dst, then broadcast the assembled side back. A
-// non-nil ctx with an active span records the gather and broadcast phases.
-func relayHalf(ctx context.Context, conns []*wire, it int, half byte, rows, k int, dst []float32, timeout time.Duration) error {
-	workers := len(conns)
-	var gctx context.Context = context.Background()
-	var gather *rtrace.Span
-	if ctx != nil {
-		gctx, gather = rtrace.StartChild(ctx, "gather")
-	}
-	for rank, wc := range conns {
-		lo, hi := Range(rows, rank, workers)
-		wc.c.SetReadDeadline(time.Now().Add(timeout))
-		var wait *rtrace.Span
-		if gather != nil {
-			_, wait = rtrace.StartChild(gctx, "wait worker"+strconv.Itoa(rank))
-		}
-		err := wc.expectFactors(it, half, k, dst, lo, hi-lo)
-		wait.End()
-		if err != nil {
-			return fmt.Errorf("worker %d: %w", rank, err)
-		}
-	}
-	gather.End()
-	var bcast *rtrace.Span
-	if ctx != nil {
-		_, bcast = rtrace.StartChild(ctx, "broadcast")
-	}
-	h := factorHeader{Iter: uint32(it), Half: half, Lo: 0, Rows: uint32(rows), K: uint32(k)}
-	for rank, wc := range conns {
-		if err := wc.writeFactors(h, dst); err != nil {
-			return fmt.Errorf("worker %d: %w", rank, err)
-		}
-	}
-	bcast.End()
-	return nil
 }
 
 // resumeMismatch mirrors core.Train's checkpoint compatibility checks.
@@ -522,8 +498,9 @@ func resumeMismatch(st *checkpoint.State, cfg *TrainerConfig, vname string) erro
 // worker's share of a distributed training run: load the dataset the
 // config frame describes, then per half-iteration solve the static row
 // range this rank owns, send the shard up, and receive the assembled side
-// back. It returns when training completes or the coordinator goes away —
-// a worker never outlives its run.
+// back. While computing it emits heartbeat frames so the coordinator can
+// tell a slow worker from a dead one. It returns when training completes or
+// the coordinator goes away — a worker never outlives its run.
 func RunWorker(coordAddr string, rank int) error {
 	c, err := net.Dial("tcp", coordAddr)
 	if err != nil {
@@ -536,7 +513,7 @@ func RunWorker(coordAddr string, rank int) error {
 	if err := w.writeSmall(frameHello, hello); err != nil {
 		return err
 	}
-	kind, body, err := w.readSmall()
+	kind, body, err := w.readSmall(nil)
 	if err != nil {
 		return err
 	}
@@ -558,7 +535,7 @@ func RunWorker(coordAddr string, rank int) error {
 	wctx := context.Background()
 	var wroot *rtrace.Span
 	if cfg.Trace {
-		kind, body, err := w.readSmall()
+		kind, body, err := w.readSmall(nil)
 		if err != nil || kind != frameTraceCtx {
 			return fmt.Errorf("shard: worker %d: expected trace context frame (kind=%d): %v", rank, kind, err)
 		}
@@ -577,9 +554,34 @@ func RunWorker(coordAddr string, rank int) error {
 		wroot.SetAttr("worker", strconv.Itoa(rank))
 	}
 
+	// Liveness: while the training loop computes, a side goroutine emits
+	// heartbeat frames (writes are mutex-serialized with factor frames). A
+	// failed heartbeat write means the coordinator is gone — close the
+	// connection so every pending exchange I/O fails and the worker exits
+	// instead of computing for a dead run.
+	if cfg.HeartbeatMillis > 0 {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			t := time.NewTicker(time.Duration(cfg.HeartbeatMillis) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if err := w.writeSmall(frameHeartbeat, nil); err != nil {
+						w.close()
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	// From here on, failures are reported to the coordinator before
-	// returning, so the whole run dies with the worker's message instead
-	// of a bare connection reset.
+	// returning, so the supervisor sees the worker's message instead of a
+	// bare connection reset.
 	fail := func(err error) error {
 		w.writeSmall(frameError, []byte(err.Error()))
 		return err
@@ -596,13 +598,13 @@ func RunWorker(coordAddr string, rank int) error {
 	m, n, k := mx.Rows(), mx.Cols(), cfg.K
 	x := linalg.NewDense(m, k)
 	y := host.InitialY(n, k, cfg.Seed)
-	if cfg.StartIteration > 0 {
-		st := uint32(cfg.StartIteration)
-		if err := w.expectFactors(int(st), halfX, k, x.Data, 0, m); err != nil {
-			return fmt.Errorf("shard: worker %d resume seed: %w", rank, err)
+	if cfg.Seeded {
+		st := cfg.StartIteration
+		if err := w.expectFactors(st, halfX, k, x.Data, 0, m, nil); err != nil {
+			return fmt.Errorf("shard: worker %d seed: %w", rank, err)
 		}
-		if err := w.expectFactors(int(st), halfY, k, y.Data, 0, n); err != nil {
-			return fmt.Errorf("shard: worker %d resume seed: %w", rank, err)
+		if err := w.expectFactors(st, halfY, k, y.Data, 0, n, nil); err != nil {
+			return fmt.Errorf("shard: worker %d seed: %w", rank, err)
 		}
 	}
 
@@ -617,43 +619,46 @@ func RunWorker(coordAddr string, rank int) error {
 
 	lo, hi := Range(m, rank, cfg.Workers)
 	ylo, yhi := Range(n, rank, cfg.Workers)
-	for it := cfg.StartIteration + 1; it <= cfg.Iterations; it++ {
-		hctx, hspan := workerHalfSpan(wctx, wroot, it, "x")
-		_, cspan := rtrace.StartChild(hctx, "compute")
-		err := ru.UpdateRange(mx.R, y, x, lo, hi, it, true)
-		cspan.End()
-		if err != nil {
-			return fail(fmt.Errorf("worker %d iteration %d X: %w", rank, it, err))
-		}
-		_, gspan := rtrace.StartChild(hctx, "gather")
-		err = w.writeFactors(factorHeader{Iter: uint32(it), Half: halfX, Lo: uint32(lo), Rows: uint32(hi - lo), K: uint32(k)}, x.Data[lo*k:hi*k])
-		gspan.End()
-		if err != nil {
-			return err
-		}
-		_, bspan := rtrace.StartChild(hctx, "broadcast")
-		err = w.expectFactors(it, halfX, k, x.Data, 0, m)
-		bspan.End()
-		hspan.End()
-		if err != nil {
-			return err
+	startIt := cfg.StartIteration + 1
+	for it := startIt; it <= cfg.Iterations; it++ {
+		if !(it == startIt && cfg.StartY) {
+			hctx, hspan := workerHalfSpan(wctx, wroot, it, "x")
+			_, cspan := rtrace.StartChild(hctx, "compute")
+			err := ru.UpdateRange(mx.R, y, x, lo, hi, it, true)
+			cspan.End()
+			if err != nil {
+				return fail(fmt.Errorf("worker %d iteration %d X: %w", rank, it, err))
+			}
+			_, gspan := rtrace.StartChild(hctx, "gather")
+			err = w.writeFactors(factorHeader{Iter: uint32(it), Half: halfX, Lo: uint32(lo), Rows: uint32(hi - lo), K: uint32(k)}, x.Data[lo*k:hi*k])
+			gspan.End()
+			if err != nil {
+				return err
+			}
+			_, bspan := rtrace.StartChild(hctx, "broadcast")
+			err = w.expectFactors(it, halfX, k, x.Data, 0, m, nil)
+			bspan.End()
+			hspan.End()
+			if err != nil {
+				return err
+			}
 		}
 
-		hctx, hspan = workerHalfSpan(wctx, wroot, it, "y")
-		_, cspan = rtrace.StartChild(hctx, "compute")
+		hctx, hspan := workerHalfSpan(wctx, wroot, it, "y")
+		_, cspan := rtrace.StartChild(hctx, "compute")
 		err = ru.UpdateRange(rt, x, y, ylo, yhi, it, false)
 		cspan.End()
 		if err != nil {
 			return fail(fmt.Errorf("worker %d iteration %d Y: %w", rank, it, err))
 		}
-		_, gspan = rtrace.StartChild(hctx, "gather")
+		_, gspan := rtrace.StartChild(hctx, "gather")
 		err = w.writeFactors(factorHeader{Iter: uint32(it), Half: halfY, Lo: uint32(ylo), Rows: uint32(yhi - ylo), K: uint32(k)}, y.Data[ylo*k:yhi*k])
 		gspan.End()
 		if err != nil {
 			return err
 		}
-		_, bspan = rtrace.StartChild(hctx, "broadcast")
-		err = w.expectFactors(it, halfY, k, y.Data, 0, n)
+		_, bspan := rtrace.StartChild(hctx, "broadcast")
+		err = w.expectFactors(it, halfY, k, y.Data, 0, n, nil)
 		bspan.End()
 		hspan.End()
 		if err != nil {
